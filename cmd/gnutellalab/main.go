@@ -1,0 +1,53 @@
+// Command gnutellalab runs the testlab study of Aggarwal et al. §5 on its
+// own: four 5-AS topologies (ring, star, tree, random mesh), 45 Gnutella
+// servents (15 ultrapeers + 30 leaves), 270 unique files, 45 searches —
+// unbiased vs oracle-assisted.
+//
+// Usage:
+//
+//	gnutellalab [-seed 1] [-scale 1.0] [-topology ring] [-scheme uniform] [-mode oracle]
+//
+// Filters narrow the printed cells; empty filters print the full 16-cell
+// study.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unap2p/internal/experiments"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "random seed")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		topology = flag.String("topology", "", "filter: ring, star, tree or mesh")
+		scheme   = flag.String("scheme", "", "filter: uniform or variable file distribution")
+		mode     = flag.String("mode", "", "filter: unbiased or oracle")
+	)
+	flag.Parse()
+
+	res, err := experiments.Run("exp-testlab", experiments.RunConfig{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	match := func(filter, cell string) bool {
+		return filter == "" || strings.EqualFold(filter, cell)
+	}
+	var rows [][]string
+	for _, row := range res.Rows {
+		if match(*topology, row[0]) && match(*scheme, row[1]) && match(*mode, row[2]) {
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "error: no cells match the filters")
+		os.Exit(1)
+	}
+	res.Rows = rows
+	fmt.Print(res.Render())
+}

@@ -1,0 +1,112 @@
+// Command topogen generates and inspects simulated underlays: it prints a
+// summary, the AS adjacency with link kinds and delays, and optionally a
+// Graphviz DOT rendering.
+//
+// Usage:
+//
+//	topogen -kind transit-stub -stubs 12 -transits 3 [-seed 1] [-dot]
+//	topogen -kind ring|star|tree|mesh|ba|waxman -n 8 [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unap2p/internal/sim"
+	"unap2p/internal/topology"
+	"unap2p/internal/underlay"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "transit-stub", "topology kind: transit-stub, ring, star, tree, mesh, ba, waxman")
+		n        = flag.Int("n", 8, "AS count for router-style topologies")
+		stubs    = flag.Int("stubs", 12, "stub count (transit-stub)")
+		transits = flag.Int("transits", 3, "transit count (transit-stub)")
+		hosts    = flag.Int("hosts", 0, "hosts per local AS to place")
+		seed     = flag.Int64("seed", 1, "random seed")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of text")
+	)
+	flag.Parse()
+
+	src := sim.NewSource(*seed)
+	cfg := topology.DefaultConfig()
+	cfg.Rand = src.Stream("topo")
+
+	var net *underlay.Network
+	switch *kind {
+	case "transit-stub":
+		net = topology.TransitStub(topology.TransitStubConfig{
+			Config:          cfg,
+			Transits:        *transits,
+			Stubs:           *stubs,
+			MultihomeProb:   0.2,
+			StubPeeringProb: 0.15,
+		})
+	case "ring":
+		net = topology.Ring(*n, cfg)
+	case "star":
+		net = topology.Star(*n, cfg)
+	case "tree":
+		net = topology.Tree(*n, 2, cfg)
+	case "mesh":
+		net = topology.Mesh(*n, 2.5, cfg)
+	case "ba":
+		net = topology.BarabasiAlbert(*n, 2, cfg)
+	case "waxman":
+		net = topology.Waxman(*n, 0.4, 0.2, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if *hosts > 0 {
+		topology.PlaceHosts(net, *hosts, false, 1, 5, src.Stream("place"))
+	}
+
+	if *dot {
+		emitDOT(net)
+		return
+	}
+	fmt.Println(topology.Describe(net))
+	fmt.Println()
+	fmt.Println("links:")
+	for _, l := range net.Links() {
+		arrow := "--"
+		if l.Kind == underlay.Transit {
+			arrow = "->" // customer -> provider
+		}
+		fmt.Printf("  %s %s %s  %s  %.1fms\n", l.A.Name, arrow, l.B.Name, l.Kind, float64(l.DelayAB))
+	}
+	fmt.Println()
+	fmt.Println("sample AS paths:")
+	nAS := net.NumASes()
+	for i := 0; i < nAS && i < 4; i++ {
+		j := nAS - 1 - i
+		if i == j {
+			continue
+		}
+		fmt.Printf("  AS%d → AS%d: %v (%d hops, %.1fms)\n",
+			i, j, net.ASPath(i, j), net.ASHops(i, j), float64(net.ASDelay(i, j)))
+	}
+}
+
+func emitDOT(net *underlay.Network) {
+	fmt.Println("graph underlay {")
+	for _, as := range net.ASes() {
+		shape := "ellipse"
+		if as.Kind == underlay.TransitISP {
+			shape = "box"
+		}
+		fmt.Printf("  %s [shape=%s];\n", as.Name, shape)
+	}
+	for _, l := range net.Links() {
+		style := "solid"
+		if l.Kind == underlay.Peering {
+			style = "dashed"
+		}
+		fmt.Printf("  %s -- %s [style=%s,label=\"%.0fms\"];\n",
+			l.A.Name, l.B.Name, style, float64(l.DelayAB))
+	}
+	fmt.Println("}")
+}

@@ -1,0 +1,118 @@
+// Command underlaysim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	underlaysim -list                 # show available experiments
+//	underlaysim -exp tab1-gnutella-msgs [-seed 1] [-scale 1.0]
+//	underlaysim -all                  # run everything
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"unap2p/internal/experiments"
+	"unap2p/internal/report"
+)
+
+// emit prints a result as text or JSON.
+func emit(res experiments.Result, asJSON bool) {
+	if asJSON {
+		data, err := json.Marshal(res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Print(res.Render())
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment ids")
+		seed    = flag.Int64("seed", 1, "random seed (runs are reproducible per seed)")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		seeds   = flag.Int("seeds", 1, "number of consecutive seeds to sweep (parallel)")
+		jsonOut = flag.Bool("json", false, "emit JSON instead of text tables")
+		outDir  = flag.String("out", "", "also save results (txt+json+index) under this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.RunConfig{Seed: *seed, Scale: *scale}
+	var rep *report.Writer
+	if *outDir != "" {
+		var err error
+		rep, err = report.NewWriter(*outDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if n, err := rep.Finish(); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else if n > 0 {
+				fmt.Fprintf(os.Stderr, "saved %d results to %s\n", n, *outDir)
+			}
+		}()
+	}
+	save := func(res experiments.Result) {
+		if rep == nil {
+			return
+		}
+		if err := rep.Save(res); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-22s %s\n", id, experiments.TitleOf(id))
+		}
+	case *all:
+		for _, id := range experiments.IDs() {
+			res, err := experiments.Run(id, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			emit(res, *jsonOut)
+			save(res)
+			fmt.Println()
+		}
+	case *exp != "":
+		results, err := experiments.RunSeeds(*exp, cfg, *seed, *seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		for _, res := range results {
+			emit(res, *jsonOut)
+			save(res)
+		}
+		if *seeds > 1 {
+			stats, err := experiments.Summarize(results)
+			if err == nil {
+				fmt.Printf("sweep of %d seeds — per-row mean [min, max] of numeric columns:\n", *seeds)
+				for _, row := range results[0].Rows {
+					fmt.Printf("  %-32s", row[0])
+					for _, st := range stats[row[0]] {
+						if st.N > 0 {
+							fmt.Printf("  %.2f [%.2f, %.2f]", st.Mean, st.Min, st.Max)
+						}
+					}
+					fmt.Println()
+				}
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

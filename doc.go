@@ -1,0 +1,11 @@
+// Package unap2p is an underlay-aware peer-to-peer framework: a
+// reproduction, as a working Go library, of "Underlay Awareness in P2P
+// Systems: Techniques and Challenges" (Abboud, Kovacevic, Graffi, Pussep,
+// Steinmetz — IPDPS 2009).
+//
+// The root package carries only documentation; the implementation lives
+// under internal/ (see DESIGN.md for the package inventory) and is
+// exercised by the binaries in cmd/, the runnable examples in examples/,
+// and the benchmark harness in bench_test.go, which regenerates every
+// table and figure of the paper.
+package unap2p

@@ -1,0 +1,3 @@
+module unap2p
+
+go 1.22

@@ -1,0 +1,34 @@
+package coords_test
+
+import (
+	"fmt"
+
+	"unap2p/internal/coords"
+	"unap2p/internal/linalg"
+)
+
+// The worked example of Lim et al.: four beacons in two ASes (intra-AS
+// delay 1, inter-AS delay 3) calibrate a 2-dimensional coordinate system
+// with scaling factor α = 0.6; a host measuring delays (1,1,4,4) lands at
+// (−3, 1.8) — exactly the numbers published in their paper.
+func ExampleBuildICS() {
+	d := linalg.FromRows([][]float64{
+		{0, 1, 3, 3},
+		{1, 0, 3, 3},
+		{3, 3, 0, 1},
+		{3, 3, 1, 0},
+	})
+	ics, err := coords.BuildICS(d, coords.ICSOptions{Dim: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("alpha = %.1f\n", ics.Alpha)
+	xa, _ := ics.HostCoord([]float64{1, 1, 4, 4})
+	fmt.Printf("host A = [%.1f, %.1f]\n", xa[0], xa[1])
+	fmt.Printf("predicted delay to beacon 3 = %.2f\n",
+		ics.Predict(ics.BeaconCoords[2], xa))
+	// Output:
+	// alpha = 0.6
+	// host A = [-3.0, 1.8]
+	// predicted delay to beacon 3 = 3.42
+}

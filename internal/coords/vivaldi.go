@@ -1,0 +1,243 @@
+// Package coords implements the latency-prediction techniques of §3.2:
+// the decentralized Vivaldi network coordinate system (Dabek et al.), the
+// landmark/PCA Internet Coordinate System of Lim et al. (Figure 4), and
+// landmark-ordering bins (Ratnasamy et al.). Prediction lets every peer
+// estimate the latency to any other peer from a handful of measurements,
+// avoiding the O(N²) probing overhead of explicit measurement.
+package coords
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// VivaldiConfig tunes the spring-relaxation update.
+type VivaldiConfig struct {
+	// Dim is the Euclidean dimensionality of the coordinate space.
+	Dim int
+	// CE is the error-averaging weight c_e (typically 0.25).
+	CE float64
+	// CC is the timestep weight c_c (typically 0.25).
+	CC float64
+	// UseHeight enables the height-vector model: predicted latency is the
+	// Euclidean part plus both nodes' heights, capturing access-link delay
+	// that no Euclidean embedding can express.
+	UseHeight bool
+	// MinHeight floors the height component (metres of "access delay").
+	MinHeight float64
+}
+
+// DefaultVivaldiConfig returns the parameters from the Vivaldi paper:
+// 2 dimensions + height, c_e = c_c = 0.25.
+func DefaultVivaldiConfig() VivaldiConfig {
+	return VivaldiConfig{Dim: 2, CE: 0.25, CC: 0.25, UseHeight: true, MinHeight: 0.1}
+}
+
+// VivaldiNode is one participant's coordinate state.
+type VivaldiNode struct {
+	cfg VivaldiConfig
+	// Pos is the Euclidean component.
+	Pos []float64
+	// Height is the non-Euclidean height component (0 when disabled).
+	Height float64
+	// Err is the node's confidence-weighted relative error estimate,
+	// starting at 1 (no confidence).
+	Err float64
+	// Samples counts observations applied.
+	Samples int
+}
+
+// NewVivaldiNode returns a node at the origin with error 1.
+func NewVivaldiNode(cfg VivaldiConfig) *VivaldiNode {
+	if cfg.Dim <= 0 {
+		panic("coords: vivaldi dimension must be positive")
+	}
+	n := &VivaldiNode{cfg: cfg, Pos: make([]float64, cfg.Dim), Err: 1}
+	if cfg.UseHeight {
+		n.Height = cfg.MinHeight
+	}
+	return n
+}
+
+// Distance predicts the latency between two coordinate states.
+func (n *VivaldiNode) Distance(o *VivaldiNode) float64 {
+	var s float64
+	for i := range n.Pos {
+		d := n.Pos[i] - o.Pos[i]
+		s += d * d
+	}
+	d := math.Sqrt(s)
+	if n.cfg.UseHeight {
+		d += n.Height + o.Height
+	}
+	return d
+}
+
+// Update applies one RTT observation against a remote node's coordinate.
+// rtt must be positive; r supplies the random direction used when the two
+// coordinates coincide.
+func (n *VivaldiNode) Update(remote *VivaldiNode, rtt float64, r *rand.Rand) {
+	if rtt <= 0 {
+		return
+	}
+	n.Samples++
+
+	// Sample weight balances local and remote confidence.
+	w := 0.5
+	if n.Err+remote.Err > 0 {
+		w = n.Err / (n.Err + remote.Err)
+	}
+
+	dist := n.Distance(remote)
+	relErr := math.Abs(dist-rtt) / rtt
+
+	// Exponentially weighted moving average of the relative error.
+	ce := n.cfg.CE
+	n.Err = relErr*ce*w + n.Err*(1-ce*w)
+	if n.Err > 2.0 {
+		n.Err = 2.0
+	}
+	if n.Err < 0.001 {
+		n.Err = 0.001
+	}
+
+	// Unit vector from remote toward us (the spring's push direction).
+	unit := make([]float64, len(n.Pos))
+	var norm float64
+	for i := range unit {
+		unit[i] = n.Pos[i] - remote.Pos[i]
+		norm += unit[i] * unit[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		// Coincident coordinates: pick a random direction.
+		for i := range unit {
+			unit[i] = r.NormFloat64()
+		}
+		norm = 0
+		for _, v := range unit {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			unit[0], norm = 1, 1
+		}
+	}
+	for i := range unit {
+		unit[i] /= norm
+	}
+
+	// Displacement along the spring: δ·(rtt − dist).
+	delta := n.cfg.CC * w
+	force := delta * (rtt - dist)
+	for i := range n.Pos {
+		n.Pos[i] += force * unit[i]
+	}
+	if n.cfg.UseHeight {
+		// Heights absorb a proportional share of the force (Dabek §5.4):
+		// stretching the spring raises both heights.
+		denom := norm
+		if denom < 1e-9 {
+			denom = 1e-9
+		}
+		n.Height += force * n.Height / denom
+		if n.Height < n.cfg.MinHeight {
+			n.Height = n.cfg.MinHeight
+		}
+	}
+}
+
+// Clone returns a copy of the node's coordinate state (used to exchange
+// coordinates in messages without aliasing).
+func (n *VivaldiNode) Clone() *VivaldiNode {
+	c := &VivaldiNode{cfg: n.cfg, Height: n.Height, Err: n.Err, Samples: n.Samples}
+	c.Pos = append([]float64(nil), n.Pos...)
+	return c
+}
+
+// VivaldiSystem runs Vivaldi over a set of nodes against a ground-truth
+// RTT function, in rounds where every node probes a few random neighbors.
+// It is the driver experiments use to converge a coordinate system.
+type VivaldiSystem struct {
+	Nodes []*VivaldiNode
+	// RTT returns the true round-trip time between node indices.
+	RTT func(i, j int) float64
+	// NeighborsPerRound is how many random probes each node sends per
+	// round (Vivaldi's steady-state gossip).
+	NeighborsPerRound int
+	// Probes counts total measurements issued, for overhead accounting.
+	Probes uint64
+
+	r *rand.Rand
+}
+
+// NewVivaldiSystem creates n nodes with the given config.
+func NewVivaldiSystem(n int, cfg VivaldiConfig, rtt func(i, j int) float64, r *rand.Rand) *VivaldiSystem {
+	s := &VivaldiSystem{RTT: rtt, NeighborsPerRound: 4, r: r}
+	for i := 0; i < n; i++ {
+		s.Nodes = append(s.Nodes, NewVivaldiNode(cfg))
+	}
+	return s
+}
+
+// Round performs one gossip round.
+func (s *VivaldiSystem) Round() {
+	n := len(s.Nodes)
+	if n < 2 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < s.NeighborsPerRound; k++ {
+			j := s.r.Intn(n)
+			for j == i {
+				j = s.r.Intn(n)
+			}
+			s.Probes++
+			s.Nodes[i].Update(s.Nodes[j].Clone(), s.RTT(i, j), s.r)
+		}
+	}
+}
+
+// Run performs the given number of rounds.
+func (s *VivaldiSystem) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		s.Round()
+	}
+}
+
+// Predict returns the embedded distance between nodes i and j.
+func (s *VivaldiSystem) Predict(i, j int) float64 {
+	return s.Nodes[i].Distance(s.Nodes[j])
+}
+
+// MedianRelativeError evaluates embedding quality over all pairs:
+// median of |predicted − actual| / actual. Vivaldi typically converges to
+// ≈ 0.1–0.3 on internet-like latency matrices.
+func (s *VivaldiSystem) MedianRelativeError() float64 {
+	var errs []float64
+	n := len(s.Nodes)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			actual := s.RTT(i, j)
+			if actual <= 0 {
+				continue
+			}
+			errs = append(errs, math.Abs(s.Predict(i, j)-actual)/actual)
+		}
+	}
+	if len(errs) == 0 {
+		return 0
+	}
+	return median(errs)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}

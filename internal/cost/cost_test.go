@@ -1,0 +1,253 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"unap2p/internal/sim"
+	"unap2p/internal/underlay"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	s := make([]float64, 100)
+	for i := range s {
+		s[i] = float64(i + 1)
+	}
+	if p := Percentile(s, 0.95); p != 95 {
+		t.Fatalf("p95 = %v, want 95", p)
+	}
+	if p := Percentile(s, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(s, 1); p != 100 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(nil, 0.95); p != 0 {
+		t.Fatalf("empty p95 = %v", p)
+	}
+	if p := Percentile([]float64{7}, 0.95); p != 7 {
+		t.Fatalf("single p95 = %v", p)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	s := []float64{3, 1, 2}
+	Percentile(s, 0.5)
+	if s[0] != 3 || s[1] != 1 || s[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestTransitBill(t *testing.T) {
+	c := TransitContract{PricePerMbps: 10}
+	// Peaky series: p95 ignores the single worst spike in 100 samples.
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = 50
+	}
+	samples[7] = 10000 // one free spike
+	samples[13] = 9000
+	samples[29] = 8000
+	samples[31] = 7000
+	samples[77] = 6000
+	if b := c.Bill(samples); b != 500 {
+		t.Fatalf("bill = %v, want 500 (5 spikes free at p95)", b)
+	}
+	// Commit floor.
+	c.Commit = 100
+	if b := c.Bill([]float64{10}); b != 1000 {
+		t.Fatalf("commit bill = %v, want 1000", b)
+	}
+}
+
+func TestPeeringBillFlat(t *testing.T) {
+	c := PeeringContract{MonthlyFee: 2000}
+	if c.Bill(nil) != 2000 || c.Bill([]float64{1e9}) != 2000 {
+		t.Fatal("peering bill must ignore traffic")
+	}
+}
+
+// TestFig2CostShapes asserts the Figure 2 relations: transit per-Mbps is
+// constant and total ∝ traffic; peering total is constant and per-Mbps
+// falls as 1/traffic, crossing below transit at high volume.
+func TestFig2CostShapes(t *testing.T) {
+	traffic := []float64{10, 50, 100, 500, 1000}
+	tcurve := TransitCurve(traffic, TransitContract{PricePerMbps: 12})
+	pcurve := PeeringCurve(traffic, PeeringContract{MonthlyFee: 2400})
+
+	for i := 1; i < len(tcurve); i++ {
+		if tcurve[i].TotalCost <= tcurve[i-1].TotalCost {
+			t.Fatal("transit total cost must rise with traffic")
+		}
+		if math.Abs(tcurve[i].PerMbps-tcurve[0].PerMbps) > 1e-9 {
+			t.Fatal("transit per-Mbps must stay fixed")
+		}
+		if pcurve[i].TotalCost != pcurve[0].TotalCost {
+			t.Fatal("peering total must stay flat")
+		}
+		if pcurve[i].PerMbps >= pcurve[i-1].PerMbps {
+			t.Fatal("peering per-Mbps must fall with traffic")
+		}
+	}
+	// Crossover: cheap at high volume, expensive at low volume.
+	if pcurve[0].PerMbps <= tcurve[0].PerMbps {
+		t.Fatal("peering should cost more per Mbps at low traffic")
+	}
+	if pcurve[len(traffic)-1].PerMbps >= tcurve[len(traffic)-1].PerMbps {
+		t.Fatal("peering should cost less per Mbps at high traffic")
+	}
+}
+
+func TestCurveZeroTraffic(t *testing.T) {
+	tc := TransitCurve([]float64{0}, TransitContract{PricePerMbps: 5})
+	pc := PeeringCurve([]float64{0}, PeeringContract{MonthlyFee: 100})
+	if tc[0].PerMbps != 0 || pc[0].PerMbps != 0 {
+		t.Fatal("per-Mbps at zero traffic must be 0, not Inf")
+	}
+}
+
+func TestMeterSampling(t *testing.T) {
+	net := underlay.New()
+	a := net.AddAS(underlay.LocalISP, 1)
+	b := net.AddAS(underlay.TransitISP, 1)
+	l := net.ConnectTransit(a, b, 10)
+	h1 := net.AddHost(a, 0)
+	h2 := net.AddHost(b, 0)
+
+	k := sim.NewKernel()
+	m := NewMeter(l, sim.Second)
+	cancel := m.Start(k)
+
+	// 1 MB in the first second, nothing after.
+	k.Schedule(100, func() { net.Send(h1, h2, 1_000_000) })
+	k.Run(3 * sim.Second)
+	cancel()
+
+	s := m.Samples()
+	if len(s) != 3 {
+		t.Fatalf("samples = %v, want 3", s)
+	}
+	if math.Abs(s[0]-8.0) > 1e-9 { // 1 MB in 1 s = 8 Mbps
+		t.Fatalf("first sample = %v Mbps, want 8", s[0])
+	}
+	if s[1] != 0 || s[2] != 0 {
+		t.Fatalf("idle samples = %v, want zeros", s[1:])
+	}
+}
+
+func TestBillNetwork(t *testing.T) {
+	net := underlay.New()
+	t0 := net.AddAS(underlay.TransitISP, 1)
+	l0 := net.AddAS(underlay.LocalISP, 1)
+	l1 := net.AddAS(underlay.LocalISP, 1)
+	net.ConnectTransit(l0, t0, 10)
+	net.ConnectTransit(l1, t0, 10)
+	net.ConnectPeering(l0, l1, 3)
+	h0 := net.AddHost(l0, 0)
+	h2 := net.AddHost(t0, 0)
+	net.Send(h0, h2, 10_000_000) // 10 MB over l0's transit link
+
+	rep := BillNetwork(net, nil,
+		TransitContract{PricePerMbps: 10},
+		PeeringContract{MonthlyFee: 50},
+		10*sim.Second)
+	// avg rate = 10MB*8/1e6/10s = 8 Mbps → bill 80 for l0; l1's transit idle → 0.
+	if math.Abs(rep.PerAS[l0.ID]-(80+50)) > 1e-9 {
+		t.Fatalf("l0 pays %v, want 130", rep.PerAS[l0.ID])
+	}
+	if math.Abs(rep.PerAS[l1.ID]-50) > 1e-9 {
+		t.Fatalf("l1 pays %v, want 50 (peering only)", rep.PerAS[l1.ID])
+	}
+	if rep.PerAS[t0.ID] != 0 {
+		t.Fatalf("provider pays %v, want 0", rep.PerAS[t0.ID])
+	}
+	if math.Abs(rep.TransitTotal-80) > 1e-9 || rep.PeeringTotal != 100 {
+		t.Fatalf("totals = %v", rep)
+	}
+}
+
+func TestBillNetworkWithMeters(t *testing.T) {
+	net := underlay.New()
+	t0 := net.AddAS(underlay.TransitISP, 1)
+	l0 := net.AddAS(underlay.LocalISP, 1)
+	link := net.ConnectTransit(l0, t0, 10)
+	h0 := net.AddHost(l0, 0)
+	h1 := net.AddHost(t0, 0)
+
+	k := sim.NewKernel()
+	m := NewMeter(link, sim.Second)
+	m.Start(k)
+	// Steady 1 Mbps for 20 s with one 100 Mbps spike: p95 should ignore it.
+	for i := 0; i < 20; i++ {
+		i := i
+		k.Schedule(sim.Duration(i)*sim.Second+1, func() {
+			bytes := uint64(125_000) // 1 Mbps over 1 s
+			if i == 5 {
+				bytes = 12_500_000 // 100 Mbps spike
+			}
+			net.Send(h0, h1, bytes)
+		})
+	}
+	k.Run(20 * sim.Second)
+
+	rep := BillNetwork(net, map[*underlay.Link]*Meter{link: m},
+		TransitContract{PricePerMbps: 10}, PeeringContract{}, 0)
+	if rep.TransitTotal != 10 {
+		t.Fatalf("metered bill = %v, want 10 (p95 kills the spike)", rep.TransitTotal)
+	}
+}
+
+// Property: percentile is monotone in q and bounded by min/max.
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(raw []uint16, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make([]float64, len(raw))
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			s[i] = float64(v)
+			mn = math.Min(mn, s[i])
+			mx = math.Max(mx, s[i])
+		}
+		q1 := float64(qa%101) / 100
+		q2 := float64(qb%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		p1, p2 := Percentile(s, q1), Percentile(s, q2)
+		return p1 <= p2 && p1 >= mn && p2 <= mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterStartCancel(t *testing.T) {
+	net := underlay.New()
+	a := net.AddAS(underlay.LocalISP, 1)
+	b := net.AddAS(underlay.TransitISP, 1)
+	l := net.ConnectTransit(a, b, 10)
+	k := sim.NewKernel()
+	m := NewMeter(l, sim.Second)
+	cancel := m.Start(k)
+	k.Run(2 * sim.Second)
+	cancel()
+	k.Run(10 * sim.Second)
+	if len(m.Samples()) != 2 {
+		t.Fatalf("samples after cancel = %d, want 2", len(m.Samples()))
+	}
+}
+
+func TestMeterZeroInterval(t *testing.T) {
+	net := underlay.New()
+	a := net.AddAS(underlay.LocalISP, 1)
+	b := net.AddAS(underlay.TransitISP, 1)
+	l := net.ConnectTransit(a, b, 10)
+	m := NewMeter(l, 0)
+	m.Sample() // must not divide by zero
+	if len(m.Samples()) != 0 {
+		t.Fatal("zero-interval meter recorded a sample")
+	}
+}

@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure of the paper
+// (and of the primary sources it reprints). Each experiment is a named
+// Runner producing a Result — a text table plus notes recording the
+// paper's reference values — so that `underlaysim -exp <id>` and the
+// benchmark harness print the same artifacts the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RunConfig parameterizes an experiment run.
+type RunConfig struct {
+	// Seed roots all randomness; identical seeds reproduce identical
+	// results bit-for-bit.
+	Seed int64
+	// Scale multiplies workload sizes (1.0 = the default laptop-scale
+	// setup; benchmarks use smaller, studies larger).
+	Scale float64
+}
+
+// DefaultRunConfig returns seed 1, scale 1.
+func DefaultRunConfig() RunConfig { return RunConfig{Seed: 1, Scale: 1} }
+
+func (c RunConfig) scaled(n int) int {
+	if c.Scale <= 0 {
+		return n
+	}
+	s := int(float64(n) * c.Scale)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Result is one regenerated artifact.
+type Result struct {
+	// ID is the experiment identifier (e.g. "tab1-gnutella-msgs").
+	ID string
+	// Title names the paper artifact being reproduced.
+	Title string
+	// Headers and Rows form the result table.
+	Headers []string
+	Rows    [][]string
+	// Notes record the paper's reference values and the shape checks the
+	// run is expected to satisfy.
+	Notes []string
+}
+
+// Render formats the result as an aligned text table.
+func (r Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(r.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Runner executes one experiment.
+type Runner func(RunConfig) Result
+
+// registry maps experiment ids to runners, populated by init functions in
+// the per-experiment files.
+var registry = map[string]Runner{}
+
+// titles keeps a short description per id for listings.
+var titles = map[string]string{}
+
+func register(id, title string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+	titles[id] = title
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg RunConfig) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("unknown experiment %q (try one of %v)", id, IDs())
+	}
+	return r(cfg), nil
+}
+
+// IDs lists registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TitleOf returns the one-line description of an experiment.
+func TitleOf(id string) string { return titles[id] }
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+func d(v uint64) string    { return fmt.Sprintf("%d", v) }
+func di(v int) string      { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"unap2p/internal/metrics"
+	"unap2p/internal/oracle"
+	"unap2p/internal/overlay/gnutella"
+	"unap2p/internal/sim"
+	"unap2p/internal/topology"
+)
+
+func init() {
+	register("exp-topology-matching",
+		"LTM/MBC (Table 1) — measurement-driven overlay adaptation vs join-time biasing",
+		runTopologyMatching)
+}
+
+func runTopologyMatching(cfg RunConfig) Result {
+	res := Result{
+		ID:      "exp-topology-matching",
+		Title:   "Converging an unbiased overlay onto the underlay by measurement",
+		Headers: []string{"state", "intra-AS edges", "mean neighbor RTT (ms)", "rewires", "probe msgs", "components"},
+	}
+	build := func(bias bool) *gnutella.Overlay {
+		src := sim.NewSource(cfg.Seed).Fork("ltm")
+		tcfg := topology.TransitStubConfig{
+			Config:   topology.Config{IntraDelay: 5, LinkDelay: 20, Rand: src.Stream("topo")},
+			Transits: 2, Stubs: 12,
+		}
+		net := topology.TransitStub(tcfg)
+		topology.PlaceHosts(net, cfg.scaled(12), false, 1, 6, src.Stream("place"))
+		k := sim.NewKernel()
+		gcfg := gnutella.DefaultConfig()
+		gcfg.HostcacheSize = 300
+		gcfg.BiasJoin = bias
+		ov := gnutella.New(net, k, gcfg, src.Stream("overlay"))
+		if bias {
+			ov.Oracle = oracle.New(net)
+		}
+		for _, h := range net.Hosts() {
+			ov.AddNode(h, true)
+		}
+		ov.JoinAll()
+		return ov
+	}
+
+	ov := build(false)
+	row := func(state string, rewires int) {
+		edges := ov.Edges()
+		labels := ov.ASLabels()
+		res.Rows = append(res.Rows, []string{
+			state,
+			pct(metrics.IntraASEdgeFraction(edges, labels)),
+			f1(ov.MeanNeighborRTT()),
+			di(rewires),
+			d(ov.Msgs.Value("probe")),
+			di(metrics.ComponentCount(ov.U.NumHosts(), edges)),
+		})
+	}
+	row("unbiased start", 0)
+	acfg := gnutella.DefaultAdaptConfig()
+	total := 0
+	for round := 1; round <= 10; round++ {
+		r := ov.AdaptRound(acfg)
+		total += r
+		if round == 1 || round == 3 || round == 10 || r == 0 {
+			row("after round "+di(round), total)
+		}
+		if r == 0 {
+			break
+		}
+	}
+	// Reference: what join-time biasing achieves directly.
+	ovB := build(true)
+	edges := ovB.Edges()
+	labels := ovB.ASLabels()
+	res.Rows = append(res.Rows, []string{
+		"reference: oracle at join",
+		pct(metrics.IntraASEdgeFraction(edges, labels)),
+		f1(ovB.MeanNeighborRTT()),
+		"—",
+		"0",
+		di(metrics.ComponentCount(ovB.U.NumHosts(), edges)),
+	})
+	res.Notes = append(res.Notes,
+		"LTM/MBC replace mismatched (slow) overlay links with measured-closer peers: mean neighbor",
+		"RTT falls monotonically and locality rises toward what join-time biasing achieves — but",
+		"paid for in probe traffic instead of ISP cooperation, and without partitioning (components",
+		"stay 1).")
+	return res
+}

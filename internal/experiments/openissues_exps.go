@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+
+	"unap2p/internal/geo"
+	"unap2p/internal/mobility"
+	"unap2p/internal/oracle"
+	"unap2p/internal/overlay/gnutella"
+	"unap2p/internal/sim"
+	"unap2p/internal/topology"
+	"unap2p/internal/underlay"
+	"unap2p/internal/workload"
+)
+
+func init() {
+	register("exp-mobility",
+		"§6 Mobile Support — how fast cached underlay information goes stale for mobile peers",
+		runMobility)
+	register("exp-oracle-trust",
+		"§6 ISP Internal Information — what a self-serving or malicious oracle does to user QoS",
+		runOracleTrust)
+	register("abl-pong-cache",
+		"Ablation — Gnutella 0.4 ping flooding vs 0.6 pong caching",
+		runAblPongCache)
+}
+
+func runMobility(cfg RunConfig) Result {
+	res := Result{
+		ID:      "exp-mobility",
+		Title:   "Staleness of cached underlay information under peer mobility",
+		Headers: []string{"snapshot age (s)", "wrong ISP-location", "mean geo error (km)", "mean access-delay error (ms)"},
+	}
+	src := sim.NewSource(cfg.Seed).Fork("mobility")
+	net := topology.Star(7, topology.DefaultConfig())
+	r := src.Stream("points")
+	// Attachment points: 3 per local AS, scattered in distinct cities.
+	var points []mobility.AttachmentPoint
+	for _, as := range net.ASes() {
+		if as.Kind != underlay.LocalISP {
+			continue
+		}
+		baseLat := r.Float64()*100 - 50
+		baseLon := r.Float64()*300 - 150
+		for i := 0; i < 3; i++ {
+			points = append(points, mobility.AttachmentPoint{
+				AS:          as,
+				Pos:         geo.Coord{Lat: baseLat + r.NormFloat64(), Lon: baseLon + r.NormFloat64()},
+				AccessDelay: sim.Duration(3 + r.Float64()*40),
+			})
+		}
+	}
+	k := sim.NewKernel()
+	model := mobility.NewModel(k, src.Stream("mob"), points, 30*sim.Second)
+	nMobile := cfg.scaled(60)
+	var hosts []*underlay.Host
+	for i := 0; i < nMobile; i++ {
+		h := net.AddHost(points[0].AS, 1)
+		model.Attach(h, i%len(points))
+		model.Track(h)
+		hosts = append(hosts, h)
+	}
+	snaps := make([]mobility.Snapshot, len(hosts))
+	for i, h := range hosts {
+		snaps[i] = mobility.Take(h, k.Now())
+	}
+	for _, ageS := range []int{0, 30, 120, 600} {
+		k.Run(sim.Time(ageS) * sim.Second)
+		wrongAS, geoErr, accErr := 0, 0.0, 0.0
+		for i, h := range hosts {
+			st := snaps[i].Check(h)
+			if st.ASChanged {
+				wrongAS++
+			}
+			geoErr += st.PositionErrorKm
+			accErr += float64(st.AccessDelta)
+		}
+		n := float64(len(hosts))
+		res.Rows = append(res.Rows, []string{
+			di(ageS),
+			pct(float64(wrongAS) / n),
+			f1(geoErr / n),
+			f1(accErr / n),
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d mobile peers, mean residence 30 s, %d handovers over the horizon.", nMobile, model.Moves),
+		"§6: for mobile users, ISP-location and latency information 'no longer apply because of",
+		"continuous variation' — the wrong-ISP fraction saturates toward the steady state while",
+		"cached positions and access delays drift; awareness systems must refresh on handover",
+		"(the mobility.OnMove hook) or pay these error rates.")
+	return res
+}
+
+func runOracleTrust(cfg RunConfig) Result {
+	res := Result{
+		ID:      "exp-oracle-trust",
+		Title:   "User and ISP outcomes under oracle behaviours",
+		Headers: []string{"oracle behaviour", "intra-AS downloads", "mean source RTT (ms)", "oracle queries"},
+	}
+	src := sim.NewSource(cfg.Seed).Fork("trust")
+	tcfg := topology.TransitStubConfig{
+		Config:   topology.Config{IntraDelay: 5, LinkDelay: 20, Rand: src.Stream("topo")},
+		Transits: 2, Stubs: 10,
+	}
+	net := topology.TransitStub(tcfg)
+	hosts := topology.PlaceHosts(net, cfg.scaled(15), false, 1, 8, src.Stream("place"))
+	catalog := workload.NewCatalog(cfg.scaled(120))
+	workload.PopulateLocal(catalog, net, hosts, 6, 0.6, src.Stream("content"))
+	gen := workload.NewQueryGen(net, catalog, hosts, 0.5, 1.0, src.Stream("queries"))
+	var queries []workload.Query
+	for i := 0; i < cfg.scaled(300); i++ {
+		if q, ok := gen.Next(0); ok {
+			queries = append(queries, q)
+		}
+	}
+
+	type mode struct {
+		name string
+		use  bool
+		b    oracle.Behaviour
+		down bool
+	}
+	modes := []mode{
+		{"no oracle (unbiased)", false, oracle.Honest, false},
+		{"honest", true, oracle.Honest, false},
+		{"self-serving (P4P weights)", true, oracle.SelfServing, false},
+		{"malicious (inverted)", true, oracle.Malicious, false},
+		{"outage (fallback)", true, oracle.Honest, true},
+	}
+	for _, m := range modes {
+		o := oracle.New(net)
+		o.Down = m.down
+		r := src.Fork("run-" + m.name).Stream("pick")
+		intra, total := 0, 0
+		var rttSum float64
+		for _, q := range queries {
+			client := net.Host(q.From)
+			var holders []underlay.HostID
+			for _, h := range catalog.Replicas(q.Item) {
+				if h != q.From {
+					holders = append(holders, h)
+				}
+			}
+			if len(holders) == 0 {
+				continue
+			}
+			var srcID underlay.HostID
+			if m.use {
+				srcID = o.RankWith(m.b, client, holders)[0]
+			} else {
+				srcID = holders[r.Intn(len(holders))]
+			}
+			srcHost := net.Host(srcID)
+			total++
+			if srcHost.AS.ID == client.AS.ID {
+				intra++
+			}
+			rttSum += float64(net.RTT(client, srcHost))
+		}
+		res.Rows = append(res.Rows, []string{
+			m.name,
+			pct(float64(intra) / float64(total)),
+			f1(rttSum / float64(total)),
+			d(o.Queries),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"§6/§5.1: users 'must be able to trust ISPs'. An honest oracle improves both locality and",
+		"RTT; a malicious oracle makes QoS *worse than no oracle at all* (systematically farthest",
+		"sources); an outage degrades gracefully to unbiased behaviour. The self-serving P4P-style",
+		"ranking still helps users here because ISP cost and proximity align on this underlay.")
+	return res
+}
+
+func runAblPongCache(cfg RunConfig) Result {
+	res := Result{
+		ID:      "abl-pong-cache",
+		Title:   "Discovery traffic: 0.4 ping flooding vs 0.6 pong caching",
+		Headers: []string{"discovery", "ping msgs", "pong msgs", "total bytes", "addresses learned/node"},
+	}
+	for _, cached := range []bool{false, true} {
+		src := sim.NewSource(cfg.Seed).Fork(fmt.Sprintf("pongcache-%v", cached))
+		tcfg := topology.TransitStubConfig{
+			Config:   topology.Config{IntraDelay: 5, LinkDelay: 20, Rand: src.Stream("topo")},
+			Transits: 2, Stubs: 10,
+		}
+		net := topology.TransitStub(tcfg)
+		topology.PlaceHosts(net, cfg.scaled(12), false, 1, 6, src.Stream("place"))
+		k := sim.NewKernel()
+		gcfg := gnutella.DefaultConfig()
+		gcfg.PingTTL = 3
+		gcfg.PongCache = cached
+		gcfg.PongCacheSize = 10
+		gcfg.HostcacheSize = 1000
+		ov := gnutella.New(net, k, gcfg, src.Stream("overlay"))
+		for _, h := range net.Hosts() {
+			ov.AddNode(h, true)
+		}
+		ov.JoinAll()
+		before := net.Traffic.Total()
+		for _, n := range ov.Nodes() {
+			ov.Ping(n.Host.ID)
+		}
+		k.Drain()
+		name := "0.4 flooding (TTL 3)"
+		if cached {
+			name = "0.6 pong caching"
+		}
+		// Learned addresses: mean growth of the hostcache is only
+		// meaningful for the cached variant; flooding pongs carry no
+		// addresses in this model.
+		learned := "n/a"
+		if cached {
+			total := 0
+			for _, n := range ov.Nodes() {
+				total += len(nodeHostcache(n))
+			}
+			learned = f1(float64(total) / float64(len(ov.Nodes())))
+		}
+		res.Rows = append(res.Rows, []string{
+			name,
+			d(ov.Msgs.Value("ping")),
+			d(ov.Msgs.Value("pong")),
+			d(net.Traffic.Total() - before),
+			learned,
+		})
+	}
+	res.Notes = append(res.Notes,
+		"pong caching answers pings one hop away from cache instead of re-flooding: discovery",
+		"traffic falls by an order of magnitude while nodes still learn fresh addresses — the",
+		"protocol evolution that made the Table 1 message volumes survivable in deployment.")
+	return res
+}
+
+// nodeHostcache exposes the hostcache length for reporting; kept here to
+// avoid widening the gnutella API for one metric.
+func nodeHostcache(n *gnutella.Node) []underlay.HostID { return n.Hostcache() }

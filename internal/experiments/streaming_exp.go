@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"unap2p/internal/overlay/chord"
+	"unap2p/internal/overlay/streaming"
+	"unap2p/internal/resources"
+	"unap2p/internal/sim"
+	"unap2p/internal/topology"
+)
+
+func init() {
+	register("exp-streaming",
+		"Bandwidth-aware P2P-TV scheduling (da Silva et al., Table 1) — playback continuity",
+		runStreaming)
+	register("exp-chord-pns",
+		"Proximity in DHTs (Castro et al., Table 1) — Chord fingers filled proximally",
+		runChordPNS)
+}
+
+func runStreaming(cfg RunConfig) Result {
+	res := Result{
+		ID:      "exp-streaming",
+		Title:   "Live streaming mesh: random vs bandwidth-aware parent assignment",
+		Headers: []string{"parent assignment", "mean continuity", "worst-peer continuity", "mean parent capacity (chunks/tick)", "chunk traffic (MB)"},
+	}
+	run := func(aware bool) *streaming.Mesh {
+		src := sim.NewSource(cfg.Seed).Fork(fmt.Sprintf("streaming-%v", aware))
+		net := topology.TransitStub(topology.TransitStubConfig{
+			Config:   topology.Config{IntraDelay: 5, LinkDelay: 20, Rand: src.Stream("topo")},
+			Transits: 2, Stubs: 6,
+		})
+		topology.PlaceHosts(net, cfg.scaled(14), false, 1, 5, src.Stream("place"))
+		table := resources.GenerateAll(net, src.Stream("res"))
+		scfg := streaming.DefaultConfig()
+		scfg.Aware = aware
+		m := streaming.NewMesh(net, table, net.Hosts()[0], scfg, src.Stream("mesh"))
+		for _, h := range net.Hosts()[1:] {
+			m.AddViewer(h)
+		}
+		m.AssignParents()
+		m.Run(cfg.scaled(300))
+		return m
+	}
+	for _, aware := range []bool{false, true} {
+		name := "random"
+		if aware {
+			name = "bandwidth-aware"
+		}
+		m := run(aware)
+		res.Rows = append(res.Rows, []string{
+			name,
+			pct(m.Continuity()),
+			pct(m.WorstContinuity()),
+			f2(m.ParentCapacityMean()),
+			f1(float64(m.ChunkTraffic.Total()) / 1e6),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"da Silva et al.'s claim: scheduling around peer upload capacity (peer-resources awareness)",
+		"protects playback continuity — the mean improves modestly, the *worst* viewer dramatically,",
+		"because random meshes leave some peers behind weak-upload parents.")
+	return res
+}
+
+func runChordPNS(cfg RunConfig) Result {
+	res := Result{
+		ID:      "exp-chord-pns",
+		Title:   "Chord lookups: interval-first vs proximity-selected fingers",
+		Headers: []string{"finger policy", "mean hops", "mean lookup latency (ms)", "latency/hop (ms)"},
+	}
+	run := func(pns bool) (float64, float64) {
+		src := sim.NewSource(cfg.Seed).Fork(fmt.Sprintf("chordpns-%v", pns))
+		net := topology.TransitStub(topology.TransitStubConfig{
+			Config:   topology.Config{IntraDelay: 5, LinkDelay: 25, Rand: src.Stream("topo")},
+			Transits: 2, Stubs: 10,
+		})
+		topology.PlaceHosts(net, cfg.scaled(12), false, 1, 6, src.Stream("place"))
+		ccfg := chord.DefaultConfig()
+		ccfg.PNS = pns
+		ring := chord.New(net, ccfg, src.Stream("ring"))
+		for _, h := range net.Hosts() {
+			ring.AddNode(h)
+		}
+		ring.Build()
+		probe := src.Stream("probe")
+		var hops, lat float64
+		n := cfg.scaled(150)
+		for i := 0; i < n; i++ {
+			from := ring.Nodes()[probe.Intn(len(ring.Nodes()))].Host.ID
+			r := ring.Lookup(from, chord.ID(probe.Uint64()))
+			hops += float64(r.Hops)
+			lat += float64(r.Latency)
+		}
+		return hops / float64(n), lat / float64(n)
+	}
+	for _, pns := range []bool{false, true} {
+		name := "first node of interval (classic)"
+		if pns {
+			name = "proximity-selected (Castro et al.)"
+		}
+		hops, lat := run(pns)
+		perHop := 0.0
+		if hops > 0 {
+			perHop = lat / hops
+		}
+		res.Rows = append(res.Rows, []string{name, f2(hops), f1(lat), f1(perHop)})
+	}
+	res.Notes = append(res.Notes,
+		"Castro et al.: structured overlays leave freedom in *which* node fills each routing slot;",
+		"choosing the underlay-closest valid candidate cuts per-hop delay while the hop count (the",
+		"overlay's O(log N) structure) stays put.")
+	return res
+}

@@ -1,0 +1,48 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomSym(n int, seed int64) *Matrix {
+	r := rand.New(rand.NewSource(seed))
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+// BenchmarkEigenSym measures the cyclic Jacobi eigendecomposition at the
+// beacon-count scale ICS uses.
+func BenchmarkEigenSym(b *testing.B) {
+	a := randomSym(16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EigenSym(a)
+	}
+}
+
+// BenchmarkSVD measures the one-sided Jacobi SVD.
+func BenchmarkSVD(b *testing.B) {
+	a := randomSym(16, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SVD(a)
+	}
+}
+
+// BenchmarkMatMul measures the dense product.
+func BenchmarkMatMul(b *testing.B) {
+	x := randomSym(32, 3)
+	y := randomSym(32, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y)
+	}
+}

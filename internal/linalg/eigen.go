@@ -1,0 +1,192 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigendecomposition A = Q Λ Qᵀ of a symmetric
+// matrix using the cyclic Jacobi rotation method. It returns eigenvalues
+// and the matrix whose columns are the corresponding orthonormal
+// eigenvectors, sorted by descending |λ| (the ordering PCA on a distance
+// matrix needs, since D is indefinite and principal components correspond
+// to the largest singular values |λ|).
+func EigenSym(a *Matrix) (vals []float64, vecs *Matrix) {
+	if !a.IsSymmetric(1e-9) {
+		panic("linalg: EigenSym on non-symmetric matrix")
+	}
+	n := a.Rows
+	s := a.Clone()
+	q := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(s)
+		if off < 1e-13*(1+s.FrobeniusNorm()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for r := p + 1; r < n; r++ {
+				apq := s.At(p, r)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := s.At(p, p), s.At(r, r)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := t * c
+				rotate(s, q, p, r, c, sn)
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = s.At(i, i)
+	}
+	// Sort by descending |λ|, carrying eigenvector columns along.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		return math.Abs(vals[idx[i]]) > math.Abs(vals[idx[j]])
+	})
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for row := 0; row < n; row++ {
+			sortedVecs.Set(row, newCol, q.At(row, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs
+}
+
+// rotate applies the Jacobi rotation J(p,q,θ) to s (two-sided) and
+// accumulates it into q.
+func rotate(s, q *Matrix, p, r int, c, sn float64) {
+	n := s.Rows
+	for k := 0; k < n; k++ {
+		skp, skr := s.At(k, p), s.At(k, r)
+		s.Set(k, p, c*skp-sn*skr)
+		s.Set(k, r, sn*skp+c*skr)
+	}
+	for k := 0; k < n; k++ {
+		spk, srk := s.At(p, k), s.At(r, k)
+		s.Set(p, k, c*spk-sn*srk)
+		s.Set(r, k, sn*spk+c*srk)
+	}
+	for k := 0; k < n; k++ {
+		qkp, qkr := q.At(k, p), q.At(k, r)
+		q.Set(k, p, c*qkp-sn*qkr)
+		q.Set(k, r, sn*qkp+c*qkr)
+	}
+}
+
+func offDiagNorm(s *Matrix) float64 {
+	var sum float64
+	for i := 0; i < s.Rows; i++ {
+		for j := 0; j < s.Cols; j++ {
+			if i != j {
+				sum += s.At(i, j) * s.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// SVD computes the thin singular value decomposition A = U Σ Vᵀ of an
+// m×n matrix (m ≥ n) by one-sided Jacobi orthogonalization. Singular
+// values are returned in descending order; U is m×n with orthonormal
+// columns and V is n×n orthogonal.
+func SVD(a *Matrix) (u *Matrix, sigma []float64, v *Matrix) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		// Decompose the transpose and swap factors: Aᵀ = U Σ Vᵀ ⇒ A = V Σ Uᵀ.
+		ut, s, vt := SVD(a.T())
+		return vt, s, ut
+	}
+	w := a.Clone() // working copy whose columns we orthogonalize
+	vm := Identity(n)
+
+	const maxSweeps = 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for r := p + 1; r < n; r++ {
+				// Compute the 2x2 Gram submatrix of columns p and r.
+				var app, arr, apr float64
+				for i := 0; i < m; i++ {
+					wp, wr := w.At(i, p), w.At(i, r)
+					app += wp * wp
+					arr += wr * wr
+					apr += wp * wr
+				}
+				if math.Abs(apr) <= 1e-15*math.Sqrt(app*arr) {
+					continue
+				}
+				rotated = true
+				tau := (arr - app) / (2 * apr)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := t * c
+				for i := 0; i < m; i++ {
+					wp, wr := w.At(i, p), w.At(i, r)
+					w.Set(i, p, c*wp-sn*wr)
+					w.Set(i, r, sn*wp+c*wr)
+				}
+				for i := 0; i < n; i++ {
+					vp, vr := vm.At(i, p), vm.At(i, r)
+					vm.Set(i, p, c*vp-sn*vr)
+					vm.Set(i, r, sn*vp+c*vr)
+				}
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+
+	// Column norms are the singular values; normalize columns for U.
+	type sv struct {
+		val float64
+		col int
+	}
+	svs := make([]sv, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm += w.At(i, j) * w.At(i, j)
+		}
+		svs[j] = sv{math.Sqrt(norm), j}
+	}
+	sort.SliceStable(svs, func(i, j int) bool { return svs[i].val > svs[j].val })
+
+	sigma = make([]float64, n)
+	u = NewMatrix(m, n)
+	v = NewMatrix(n, n)
+	for newCol, s := range svs {
+		sigma[newCol] = s.val
+		for i := 0; i < m; i++ {
+			if s.val > 1e-300 {
+				u.Set(i, newCol, w.At(i, s.col)/s.val)
+			}
+		}
+		for i := 0; i < n; i++ {
+			v.Set(i, newCol, vm.At(i, s.col))
+		}
+	}
+	return u, sigma, v
+}

@@ -1,0 +1,68 @@
+package linalg
+
+// PCA utilities for the Lim et al. Internet Coordinate System, which
+// applies principal component analysis directly to the beacon distance
+// matrix (no mean-centering — the "raw" PCA variant their Eq. (7) uses on
+// the symmetric delay matrix).
+
+// PrincipalComponents returns the first n principal directions of the
+// symmetric matrix d — the eigenvectors of d ordered by descending |λ| —
+// with a deterministic sign convention: each column is flipped so its
+// first nonzero entry is negative. The convention is arbitrary
+// mathematically (eigenvector sign is free) but matches the worked
+// Examples 4–5 in Lim et al. so the unap2p test suite can assert their
+// published coordinates digit-for-digit.
+func PrincipalComponents(d *Matrix, n int) *Matrix {
+	_, vecs := EigenSym(d)
+	un := vecs.FirstCols(n)
+	for j := 0; j < un.Cols; j++ {
+		for i := 0; i < un.Rows; i++ {
+			v := un.At(i, j)
+			if v == 0 {
+				continue
+			}
+			if v > 0 {
+				for k := 0; k < un.Rows; k++ {
+					un.Set(k, j, -un.At(k, j))
+				}
+			}
+			break
+		}
+	}
+	return un
+}
+
+// CumulativeVariation returns, for each k in 1..len(sigma), the cumulative
+// percentage of variation captured by the first k singular values:
+// Σ_{i<k} σᵢ² / Σ σᵢ². Lim et al. pick the coordinate dimension as the
+// smallest k whose cumulative variation exceeds a threshold (their Eq. 9).
+func CumulativeVariation(sigma []float64) []float64 {
+	var total float64
+	for _, s := range sigma {
+		total += s * s
+	}
+	out := make([]float64, len(sigma))
+	if total == 0 {
+		return out
+	}
+	var run float64
+	for i, s := range sigma {
+		run += s * s
+		out[i] = run / total
+	}
+	return out
+}
+
+// ChooseDimension returns the smallest dimension whose cumulative
+// variation meets threshold (in (0,1]); it returns len(sigma) if the
+// threshold is never met (numerically impossible for threshold ≤ 1, kept
+// as a safe fallback).
+func ChooseDimension(sigma []float64, threshold float64) int {
+	cv := CumulativeVariation(sigma)
+	for i, v := range cv {
+		if v >= threshold {
+			return i + 1
+		}
+	}
+	return len(sigma)
+}

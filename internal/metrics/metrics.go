@@ -1,0 +1,169 @@
+// Package metrics collects the measurements the unap2p experiments report:
+// message counters, latency distributions, AS-pair traffic matrices, and
+// overlay-clustering statistics used to quantify "locality of traffic".
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a named monotone event counter.
+type Counter struct {
+	name string
+	n    uint64
+}
+
+// NewCounter returns a counter with the given name.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Add increments the counter by d (d may be > 1 for batched events).
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Name returns the counter's name.
+func (c *Counter) Name() string { return c.name }
+
+func (c *Counter) String() string { return fmt.Sprintf("%s=%d", c.name, c.n) }
+
+// CounterSet groups named counters, creating them on first use.
+type CounterSet struct {
+	counters map[string]*Counter
+}
+
+// NewCounterSet returns an empty set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{counters: make(map[string]*Counter)}
+}
+
+// Get returns the counter with the given name, creating it at zero.
+func (s *CounterSet) Get(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = NewCounter(name)
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Value returns the count for name (zero if never touched).
+func (s *CounterSet) Value(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.n
+	}
+	return 0
+}
+
+// Names returns all counter names in sorted order.
+func (s *CounterSet) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dist accumulates a sample distribution with exact quantiles. Experiments
+// are small enough (≤ a few million samples) that keeping the samples and
+// sorting on demand is both simplest and exact.
+type Dist struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// NewDist returns an empty distribution.
+func NewDist() *Dist { return &Dist{} }
+
+// Observe records one sample.
+func (d *Dist) Observe(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+	d.sum += v
+}
+
+// N reports the number of samples.
+func (d *Dist) N() int { return len(d.samples) }
+
+// Sum reports the sum of all samples.
+func (d *Dist) Sum() float64 { return d.sum }
+
+// Mean reports the sample mean (0 for an empty distribution).
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.sum / float64(len(d.samples))
+}
+
+// Stddev reports the population standard deviation.
+func (d *Dist) Stddev() float64 {
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	m := d.Mean()
+	var ss float64
+	for _, v := range d.samples {
+		dv := v - m
+		ss += dv * dv
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (d *Dist) sortSamples() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using the nearest-rank
+// method; q=0.95 gives the 95th percentile used in transit billing.
+func (d *Dist) Quantile(q float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sortSamples()
+	if q <= 0 {
+		return d.samples[0]
+	}
+	if q >= 1 {
+		return d.samples[len(d.samples)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(d.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return d.samples[rank]
+}
+
+// Min returns the smallest sample (0 if empty).
+func (d *Dist) Min() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sortSamples()
+	return d.samples[0]
+}
+
+// Max returns the largest sample (0 if empty).
+func (d *Dist) Max() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sortSamples()
+	return d.samples[len(d.samples)-1]
+}
+
+func (d *Dist) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f max=%.3f",
+		d.N(), d.Mean(), d.Quantile(0.5), d.Quantile(0.95), d.Max())
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ASPair is a directed (source AS, destination AS) pair.
+type ASPair struct {
+	Src, Dst int
+}
+
+// TrafficMatrix accumulates bytes exchanged between AS pairs. It is the
+// core locality measurement: the intra-AS fraction of this matrix is the
+// number every biased-neighbor-selection experiment in the paper reports.
+type TrafficMatrix struct {
+	bytes map[ASPair]uint64
+	total uint64
+	intra uint64
+}
+
+// NewTrafficMatrix returns an empty matrix.
+func NewTrafficMatrix() *TrafficMatrix {
+	return &TrafficMatrix{bytes: make(map[ASPair]uint64)}
+}
+
+// Add records n bytes flowing from AS src to AS dst.
+func (m *TrafficMatrix) Add(src, dst int, n uint64) {
+	m.bytes[ASPair{src, dst}] += n
+	m.total += n
+	if src == dst {
+		m.intra += n
+	}
+}
+
+// Total returns all bytes recorded.
+func (m *TrafficMatrix) Total() uint64 { return m.total }
+
+// Intra returns bytes whose source and destination AS coincide.
+func (m *TrafficMatrix) Intra() uint64 { return m.intra }
+
+// Inter returns bytes that crossed an AS boundary.
+func (m *TrafficMatrix) Inter() uint64 { return m.total - m.intra }
+
+// IntraFraction returns the intra-AS share of traffic in [0,1]
+// (0 for an empty matrix).
+func (m *TrafficMatrix) IntraFraction() float64 {
+	if m.total == 0 {
+		return 0
+	}
+	return float64(m.intra) / float64(m.total)
+}
+
+// Pair returns the bytes recorded for a specific AS pair.
+func (m *TrafficMatrix) Pair(src, dst int) uint64 { return m.bytes[ASPair{src, dst}] }
+
+// Pairs returns all pairs with non-zero traffic, sorted for deterministic
+// iteration.
+func (m *TrafficMatrix) Pairs() []ASPair {
+	ps := make([]ASPair, 0, len(m.bytes))
+	for p := range m.bytes {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Src != ps[j].Src {
+			return ps[i].Src < ps[j].Src
+		}
+		return ps[i].Dst < ps[j].Dst
+	})
+	return ps
+}
+
+func (m *TrafficMatrix) String() string {
+	return fmt.Sprintf("traffic total=%dB intra=%.1f%%", m.total, 100*m.IntraFraction())
+}
+
+// Conservation checks the bookkeeping invariant intra+inter == total.
+// It exists for property tests.
+func (m *TrafficMatrix) Conservation() bool {
+	var sum uint64
+	for _, b := range m.bytes {
+		sum += b
+	}
+	return sum == m.total && m.intra <= m.total
+}

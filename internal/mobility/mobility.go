@@ -1,0 +1,147 @@
+// Package mobility models the §6 "Mobile Support" challenge: mobile peers
+// change access network (and therefore ISP, IP, latency, and position)
+// while the P2P system is running, so "some underlay provided information
+// such as ISP-location and latency no longer apply because of continuous
+// variation". The package moves hosts between attachment points and lets
+// experiments quantify how stale each information kind becomes.
+package mobility
+
+import (
+	"math/rand"
+
+	"unap2p/internal/geo"
+	"unap2p/internal/sim"
+	"unap2p/internal/underlay"
+)
+
+// AttachmentPoint is a place a mobile host can connect from: an AS plus a
+// geographic position and an access profile.
+type AttachmentPoint struct {
+	AS          *underlay.AS
+	Pos         geo.Coord
+	AccessDelay sim.Duration
+}
+
+// Model drives mobile hosts between attachment points.
+type Model struct {
+	Kernel *sim.Kernel
+	Rand   *rand.Rand
+	// Points are the candidate attachment points (cells, hotspots, home
+	// networks); a move picks a random different one.
+	Points []AttachmentPoint
+	// MeanResidence is the mean time a mobile host stays attached before
+	// moving (exponential).
+	MeanResidence sim.Duration
+	// OnMove, when non-nil, is invoked after a host has moved (new state
+	// already applied) — the hook underlay-aware systems use to refresh
+	// their information.
+	OnMove func(h *underlay.Host, from, to AttachmentPoint)
+	// Moves counts handovers performed.
+	Moves uint64
+
+	current map[underlay.HostID]int
+}
+
+// NewModel validates and returns a mobility model.
+func NewModel(k *sim.Kernel, r *rand.Rand, points []AttachmentPoint, meanResidence sim.Duration) *Model {
+	if len(points) < 2 {
+		panic("mobility: need at least two attachment points")
+	}
+	if meanResidence <= 0 {
+		panic("mobility: non-positive residence time")
+	}
+	return &Model{
+		Kernel:        k,
+		Rand:          r,
+		Points:        points,
+		MeanResidence: meanResidence,
+		current:       make(map[underlay.HostID]int),
+	}
+}
+
+// Attach places a host at a given point immediately (initial placement).
+func (m *Model) Attach(h *underlay.Host, point int) {
+	p := m.Points[point]
+	h.AS = p.AS
+	h.AccessDelay = p.AccessDelay
+	h.Lat, h.Lon = p.Pos.Lat, p.Pos.Lon
+	m.current[h.ID] = point
+}
+
+// Track starts the residence/move cycle for a host. The host must have
+// been Attach-ed first.
+func (m *Model) Track(h *underlay.Host) {
+	if _, ok := m.current[h.ID]; !ok {
+		panic("mobility: Track before Attach")
+	}
+	m.scheduleMove(h)
+}
+
+func (m *Model) scheduleMove(h *underlay.Host) {
+	m.Kernel.Schedule(sim.Exp(m.Rand, m.MeanResidence), func() {
+		m.move(h)
+		m.scheduleMove(h)
+	})
+}
+
+func (m *Model) move(h *underlay.Host) {
+	cur := m.current[h.ID]
+	next := m.Rand.Intn(len(m.Points) - 1)
+	if next >= cur {
+		next++
+	}
+	from := m.Points[cur]
+	m.Attach(h, next)
+	m.Moves++
+	if m.OnMove != nil {
+		m.OnMove(h, from, m.Points[next])
+	}
+}
+
+// Current returns the host's attachment point index.
+func (m *Model) Current(h underlay.HostID) (int, bool) {
+	p, ok := m.current[h]
+	return p, ok
+}
+
+// Snapshot is a frozen view of a host's underlay information, as a
+// non-refreshing aware system would cache it.
+type Snapshot struct {
+	ASID        int
+	Pos         geo.Coord
+	AccessDelay sim.Duration
+	TakenAt     sim.Time
+}
+
+// Take records the host's current information.
+func Take(h *underlay.Host, now sim.Time) Snapshot {
+	return Snapshot{
+		ASID:        h.AS.ID,
+		Pos:         geo.Coord{Lat: h.Lat, Lon: h.Lon},
+		AccessDelay: h.AccessDelay,
+		TakenAt:     now,
+	}
+}
+
+// Staleness compares a cached snapshot with the host's live state.
+type Staleness struct {
+	// ASChanged reports whether the cached ISP-location is wrong.
+	ASChanged bool
+	// PositionErrorKm is the geolocation error of the cached position.
+	PositionErrorKm float64
+	// AccessDelta is the latency-information error at the access link.
+	AccessDelta sim.Duration
+}
+
+// Check measures how stale a snapshot is against the live host.
+func (s Snapshot) Check(h *underlay.Host) Staleness {
+	d := s.AccessDelay - h.AccessDelay
+	if d < 0 {
+		d = -d
+	}
+	return Staleness{
+		ASChanged:       s.ASID != h.AS.ID,
+		PositionErrorKm: geo.Haversine(s.Pos, geo.Coord{Lat: h.Lat, Lon: h.Lon}),
+		AccessDelta:     d,
+	}
+}

@@ -1,0 +1,146 @@
+package mobility
+
+import (
+	"testing"
+
+	"unap2p/internal/geo"
+	"unap2p/internal/sim"
+	"unap2p/internal/topology"
+	"unap2p/internal/underlay"
+)
+
+func buildPoints(t *testing.T) (*underlay.Network, []AttachmentPoint) {
+	t.Helper()
+	net := topology.Star(5, topology.DefaultConfig())
+	var points []AttachmentPoint
+	for i, as := range net.ASes() {
+		if as.Kind != underlay.LocalISP {
+			continue
+		}
+		points = append(points, AttachmentPoint{
+			AS:          as,
+			Pos:         geo.Coord{Lat: float64(10 * i), Lon: float64(10 * i)},
+			AccessDelay: sim.Duration(5 * (i + 1)),
+		})
+	}
+	return net, points
+}
+
+func TestAttachAppliesState(t *testing.T) {
+	net, points := buildPoints(t)
+	k := sim.NewKernel()
+	m := NewModel(k, sim.NewSource(1).Stream("mob"), points, 100)
+	h := net.AddHost(points[0].AS, 1)
+	m.Attach(h, 1)
+	if h.AS.ID != points[1].AS.ID || h.AccessDelay != points[1].AccessDelay {
+		t.Fatal("Attach did not apply point state")
+	}
+	if h.Lat != points[1].Pos.Lat {
+		t.Fatal("position not applied")
+	}
+	if cur, ok := m.Current(h.ID); !ok || cur != 1 {
+		t.Fatal("Current wrong")
+	}
+}
+
+func TestTrackMovesHosts(t *testing.T) {
+	net, points := buildPoints(t)
+	k := sim.NewKernel()
+	m := NewModel(k, sim.NewSource(2).Stream("mob"), points, 50)
+	h := net.AddHost(points[0].AS, 1)
+	moves := 0
+	m.OnMove = func(hh *underlay.Host, from, to AttachmentPoint) {
+		moves++
+		if from.AS.ID == to.AS.ID && from.Pos == to.Pos {
+			t.Fatal("moved to the same point")
+		}
+		if hh.AS.ID != to.AS.ID {
+			t.Fatal("host state not updated before OnMove")
+		}
+	}
+	m.Attach(h, 0)
+	m.Track(h)
+	k.Run(1000)
+	if moves == 0 || uint64(moves) != m.Moves {
+		t.Fatalf("moves = %d (counter %d)", moves, m.Moves)
+	}
+	// Expected ≈ 1000/50 = 20 handovers.
+	if moves < 5 || moves > 60 {
+		t.Fatalf("move count %d implausible for residence 50/horizon 1000", moves)
+	}
+}
+
+func TestTrackBeforeAttachPanics(t *testing.T) {
+	net, points := buildPoints(t)
+	k := sim.NewKernel()
+	m := NewModel(k, sim.NewSource(3).Stream("mob"), points, 50)
+	h := net.AddHost(points[0].AS, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Track(h)
+}
+
+func TestNewModelValidation(t *testing.T) {
+	_, points := buildPoints(t)
+	for i, fn := range []func(){
+		func() { NewModel(sim.NewKernel(), nil, points[:1], 100) },
+		func() { NewModel(sim.NewKernel(), nil, points, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSnapshotStaleness(t *testing.T) {
+	net, points := buildPoints(t)
+	k := sim.NewKernel()
+	m := NewModel(k, sim.NewSource(4).Stream("mob"), points, 50)
+	h := net.AddHost(points[0].AS, 1)
+	m.Attach(h, 0)
+
+	snap := Take(h, k.Now())
+	// Fresh snapshot: nothing stale.
+	st := snap.Check(h)
+	if st.ASChanged || st.PositionErrorKm != 0 || st.AccessDelta != 0 {
+		t.Fatalf("fresh snapshot stale: %+v", st)
+	}
+	// Move the host: everything goes stale.
+	m.Attach(h, 2)
+	st = snap.Check(h)
+	if !st.ASChanged {
+		t.Fatal("AS change not detected")
+	}
+	if st.PositionErrorKm <= 0 {
+		t.Fatal("position error not detected")
+	}
+	if st.AccessDelta == 0 {
+		t.Fatal("access delta not detected")
+	}
+}
+
+func TestMobilityDeterminism(t *testing.T) {
+	run := func() uint64 {
+		net, points := buildPoints(t)
+		k := sim.NewKernel()
+		m := NewModel(k, sim.NewSource(5).Stream("mob"), points, 30)
+		for i := 0; i < 10; i++ {
+			h := net.AddHost(points[0].AS, 1)
+			m.Attach(h, i%len(points))
+			m.Track(h)
+		}
+		k.Run(2000)
+		return m.Moves
+	}
+	if run() != run() {
+		t.Fatal("mobility not deterministic")
+	}
+}

@@ -1,0 +1,26 @@
+package oracle_test
+
+import (
+	"fmt"
+
+	"unap2p/internal/oracle"
+	"unap2p/internal/topology"
+	"unap2p/internal/underlay"
+)
+
+// The oracle ranks a client's candidate list by AS-hop distance: same-ISP
+// peers first — biased neighbor selection's core primitive.
+func ExampleOracle_Rank() {
+	net := topology.Star(3, topology.DefaultConfig()) // hub + 2 leaf ISPs
+	local := net.AddHost(net.AS(1), 2)
+	nearby := net.AddHost(net.AS(1), 2)
+	far := net.AddHost(net.AS(2), 2)
+
+	o := oracle.New(net)
+	ranked := o.Rank(local, []underlay.HostID{far.ID, nearby.ID})
+	fmt.Println("first pick in same AS:", net.Host(ranked[0]).AS.ID == local.AS.ID)
+	fmt.Println("queries served:", o.Queries)
+	// Output:
+	// first pick in same AS: true
+	// queries served: 1
+}

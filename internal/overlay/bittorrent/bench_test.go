@@ -1,0 +1,56 @@
+package bittorrent
+
+import (
+	"testing"
+
+	"unap2p/internal/sim"
+	"unap2p/internal/topology"
+)
+
+// BenchmarkSwarmRound measures one scheduling round of an 84-peer swarm.
+func BenchmarkSwarmRound(b *testing.B) {
+	src := sim.NewSource(1)
+	net := topology.TransitStub(topology.TransitStubConfig{
+		Config:   topology.Config{IntraDelay: 5, LinkDelay: 20, Rand: src.Stream("topo")},
+		Transits: 2, Stubs: 6,
+	})
+	topology.PlaceHosts(net, 14, false, 1, 5, src.Stream("place"))
+	cfg := DefaultConfig()
+	s := NewSwarm(net, cfg, src.Stream("swarm"))
+	for i, h := range net.Hosts() {
+		if i == 0 {
+			s.AddSeed(h)
+		} else {
+			s.AddLeecher(h)
+		}
+	}
+	s.AssignNeighbors()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Round()
+	}
+}
+
+// BenchmarkFullSwarm measures a complete small distribution.
+func BenchmarkFullSwarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		src := sim.NewSource(2)
+		net := topology.TransitStub(topology.TransitStubConfig{
+			Config:   topology.Config{IntraDelay: 5, LinkDelay: 20, Rand: src.Stream("topo")},
+			Transits: 2, Stubs: 4,
+		})
+		topology.PlaceHosts(net, 8, false, 1, 5, src.Stream("place"))
+		cfg := DefaultConfig()
+		cfg.Pieces = 16
+		s := NewSwarm(net, cfg, src.Stream("swarm"))
+		for j, h := range net.Hosts() {
+			if j == 0 {
+				s.AddSeed(h)
+			} else {
+				s.AddLeecher(h)
+			}
+		}
+		s.AssignNeighbors()
+		s.Run(10000)
+	}
+}

@@ -1,0 +1,120 @@
+// Package brocade implements Brocade-style landmark routing on overlay
+// networks (Zhao, Duan, Huang, Joseph, Kubiatowicz — IPTPS 2002, [36] in
+// the paper): each autonomous system elects a well-provisioned supernode;
+// supernodes form a fully-connected secondary overlay. A cross-domain
+// message travels peer → local supernode → remote supernode → destination
+// peer, crossing the wide area exactly once instead of the O(log N)
+// inter-AS hops a flat DHT walk takes.
+package brocade
+
+import (
+	"fmt"
+	"sort"
+
+	"unap2p/internal/metrics"
+	"unap2p/internal/resources"
+	"unap2p/internal/sim"
+	"unap2p/internal/underlay"
+)
+
+// Overlay is a Brocade layer over a peer population.
+type Overlay struct {
+	U *underlay.Network
+	// MsgBytes is the size of one routed message.
+	MsgBytes uint64
+	// Msgs counts "hop" messages.
+	Msgs *metrics.CounterSet
+
+	// supernodes maps AS id → elected supernode host.
+	supernodes map[int]underlay.HostID
+	members    map[underlay.HostID]bool
+}
+
+// Build elects one supernode per AS that has members: the member with the
+// highest capacity score (Brocade chooses "supernodes with significant
+// processing power and network bandwidth" near the wide-area access
+// point). Ties break on host id for determinism.
+func Build(net *underlay.Network, table *resources.Table, members []*underlay.Host) *Overlay {
+	if len(members) == 0 {
+		panic("brocade: no members")
+	}
+	o := &Overlay{
+		U:          net,
+		MsgBytes:   120,
+		Msgs:       metrics.NewCounterSet(),
+		supernodes: make(map[int]underlay.HostID),
+		members:    make(map[underlay.HostID]bool),
+	}
+	best := map[int]underlay.HostID{}
+	bestScore := map[int]float64{}
+	sorted := append([]*underlay.Host(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for _, h := range sorted {
+		o.members[h.ID] = true
+		score := table.Get(h.ID).Score()
+		if cur, ok := best[h.AS.ID]; !ok || score > bestScore[h.AS.ID] {
+			_ = cur
+			best[h.AS.ID] = h.ID
+			bestScore[h.AS.ID] = score
+		}
+	}
+	o.supernodes = best
+	return o
+}
+
+// Supernode returns the supernode elected for an AS.
+func (o *Overlay) Supernode(asID int) (underlay.HostID, bool) {
+	id, ok := o.supernodes[asID]
+	return id, ok
+}
+
+// Supernodes returns the number of elected supernodes.
+func (o *Overlay) Supernodes() int { return len(o.supernodes) }
+
+// RouteStats reports one routed message's cost.
+type RouteStats struct {
+	// Hops is the number of overlay legs traversed.
+	Hops int
+	// Latency is the end-to-end one-way delay.
+	Latency sim.Duration
+	// InterASCrossings counts legs whose endpoints are in different ASes
+	// — each is wide-area traffic.
+	InterASCrossings int
+}
+
+// Route delivers a message from src to dst through the landmark overlay:
+// same-AS destinations go direct; cross-domain ones take the three-leg
+// supernode path (legs collapse when src or dst *is* a supernode).
+func (o *Overlay) Route(src, dst underlay.HostID) RouteStats {
+	if !o.members[src] || !o.members[dst] {
+		panic(fmt.Sprintf("brocade: %d→%d not members", src, dst))
+	}
+	from := o.U.Host(src)
+	to := o.U.Host(dst)
+	var st RouteStats
+	if src == dst {
+		return st
+	}
+	leg := func(a, b *underlay.Host) {
+		if a.ID == b.ID {
+			return
+		}
+		o.Msgs.Get("hop").Inc()
+		o.U.Send(a, b, o.MsgBytes)
+		st.Hops++
+		st.Latency += o.U.Latency(a, b)
+		if a.AS.ID != b.AS.ID {
+			st.InterASCrossings++
+		}
+	}
+	if from.AS.ID == to.AS.ID {
+		leg(from, to)
+		return st
+	}
+	sn1 := o.U.Host(o.supernodes[from.AS.ID])
+	sn2 := o.U.Host(o.supernodes[to.AS.ID])
+	leg(from, sn1)
+	leg(sn1, sn2)
+	leg(sn2, to)
+	return st
+}

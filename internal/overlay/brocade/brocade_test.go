@@ -1,0 +1,141 @@
+package brocade
+
+import (
+	"testing"
+
+	"unap2p/internal/resources"
+	"unap2p/internal/sim"
+	"unap2p/internal/topology"
+	"unap2p/internal/underlay"
+)
+
+func buildBrocade(t testing.TB, seed int64) (*underlay.Network, *resources.Table, *Overlay) {
+	t.Helper()
+	src := sim.NewSource(seed)
+	net := topology.TransitStub(topology.TransitStubConfig{
+		Config:   topology.Config{IntraDelay: 5, LinkDelay: 20, Rand: src.Stream("topo")},
+		Transits: 2, Stubs: 8,
+	})
+	topology.PlaceHosts(net, 10, false, 1, 5, src.Stream("place"))
+	table := resources.GenerateAll(net, src.Stream("res"))
+	o := Build(net, table, net.Hosts())
+	return net, table, o
+}
+
+func TestElectsOneSupernodePerAS(t *testing.T) {
+	net, table, o := buildBrocade(t, 1)
+	withHosts := map[int]bool{}
+	for _, h := range net.Hosts() {
+		withHosts[h.AS.ID] = true
+	}
+	if o.Supernodes() != len(withHosts) {
+		t.Fatalf("elected %d supernodes for %d populated ASes", o.Supernodes(), len(withHosts))
+	}
+	// The supernode must be its AS's top scorer.
+	for asID := range withHosts {
+		sn, ok := o.Supernode(asID)
+		if !ok {
+			t.Fatalf("AS %d has no supernode", asID)
+		}
+		for _, h := range net.HostsInAS(asID) {
+			if table.Get(h.ID).Score() > table.Get(sn).Score() {
+				t.Fatalf("AS %d supernode outscored by host %d", asID, h.ID)
+			}
+		}
+	}
+}
+
+func TestRouteIntraASDirect(t *testing.T) {
+	net, _, o := buildBrocade(t, 2)
+	as := net.Hosts()[0].AS.ID
+	hosts := net.HostsInAS(as)
+	st := o.Route(hosts[0].ID, hosts[1].ID)
+	if st.Hops != 1 || st.InterASCrossings != 0 {
+		t.Fatalf("intra-AS route %+v, want 1 local hop", st)
+	}
+	self := o.Route(hosts[0].ID, hosts[0].ID)
+	if self.Hops != 0 {
+		t.Fatal("self route should be free")
+	}
+}
+
+func TestRouteCrossesWideAreaOnce(t *testing.T) {
+	net, _, o := buildBrocade(t, 3)
+	var a, b *underlay.Host
+	for _, h := range net.Hosts() {
+		if a == nil {
+			a = h
+			continue
+		}
+		if h.AS.ID != a.AS.ID {
+			b = h
+			break
+		}
+	}
+	st := o.Route(a.ID, b.ID)
+	if st.InterASCrossings != 1 {
+		t.Fatalf("cross-domain route crossed %d times, want exactly 1", st.InterASCrossings)
+	}
+	if st.Hops < 1 || st.Hops > 3 {
+		t.Fatalf("hops = %d, want 1..3", st.Hops)
+	}
+	if st.Latency <= 0 {
+		t.Fatal("no latency accounted")
+	}
+	if o.Msgs.Value("hop") == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+func TestRouteFromSupernodeCollapsesLeg(t *testing.T) {
+	net, _, o := buildBrocade(t, 4)
+	// Pick a supernode and a destination in another AS.
+	var snHost underlay.HostID
+	var snAS int
+	for as, id := range o.supernodes {
+		snHost, snAS = id, as
+		break
+	}
+	var dst *underlay.Host
+	for _, h := range net.Hosts() {
+		if h.AS.ID != snAS {
+			dst = h
+			break
+		}
+	}
+	st := o.Route(snHost, dst.ID)
+	if st.Hops > 2 {
+		t.Fatalf("supernode origin should skip the first leg: %d hops", st.Hops)
+	}
+}
+
+func TestRoutePanicsOnNonMember(t *testing.T) {
+	net, _, o := buildBrocade(t, 5)
+	outsider := net.AddHost(net.AS(2), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	o.Route(net.Hosts()[0].ID, outsider.ID)
+}
+
+func TestBuildPanicsOnEmpty(t *testing.T) {
+	net, table, _ := buildBrocade(t, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(net, table, nil)
+}
+
+// BenchmarkRoute measures one landmark-routed delivery.
+func BenchmarkRoute(b *testing.B) {
+	net, _, o := buildBrocade(b, 7)
+	hosts := net.Hosts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Route(hosts[i%len(hosts)].ID, hosts[(i*13+1)%len(hosts)].ID)
+	}
+}

@@ -1,0 +1,240 @@
+// Package chord implements a Chord ring over the simulated underlay with
+// the proximity techniques of Castro, Druschel, Hu and Rowstron
+// ("Exploiting network proximity in peer-to-peer overlay networks",
+// MSR-TR-2002-82 — [4] in the paper): structured overlays have freedom in
+// *which* node fills each routing-table slot, and filling fingers with
+// the underlay-closest valid candidate (proximity neighbor selection)
+// cuts per-hop latency without changing the O(log N) hop bound.
+//
+// IDs are 64-bit; ring construction uses global knowledge (the standard
+// simulation shortcut — join/stabilize protocols are not the object of
+// study here, routing cost is).
+package chord
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"unap2p/internal/metrics"
+	"unap2p/internal/sim"
+	"unap2p/internal/underlay"
+)
+
+// ID is a position on the 2^64 ring.
+type ID uint64
+
+// Config tunes the ring.
+type Config struct {
+	// PNS fills each finger with the lowest-RTT node of the finger's
+	// interval instead of the interval's first node.
+	PNS bool
+	// SuccessorList is the number of immediate successors kept (fault
+	// tolerance and final-hop candidates).
+	SuccessorList int
+	// RPCBytes is the size of one routing message.
+	RPCBytes uint64
+}
+
+// DefaultConfig keeps 4 successors.
+func DefaultConfig() Config { return Config{SuccessorList: 4, RPCBytes: 100} }
+
+// Node is one ring member.
+type Node struct {
+	ID   ID
+	Host *underlay.Host
+	// fingers[i] is a node in [ID+2^i, ID+2^(i+1)) — the classic table,
+	// possibly proximity-optimized.
+	fingers [64]*Node
+	// successors are the next nodes clockwise.
+	successors []*Node
+}
+
+// Ring is a Chord instance.
+type Ring struct {
+	U   *underlay.Network
+	Cfg Config
+	// Msgs counts "route" messages.
+	Msgs *metrics.CounterSet
+
+	nodes []*Node // sorted by ID
+	r     *rand.Rand
+}
+
+// New creates an empty ring.
+func New(u *underlay.Network, cfg Config, r *rand.Rand) *Ring {
+	if cfg.SuccessorList < 1 {
+		panic("chord: SuccessorList must be ≥ 1")
+	}
+	return &Ring{U: u, Cfg: cfg, Msgs: metrics.NewCounterSet(), r: r}
+}
+
+// AddNode places a host on the ring with a random collision-free ID.
+// Call Build after all nodes are added.
+func (c *Ring) AddNode(h *underlay.Host) *Node {
+	for _, n := range c.nodes {
+		if n.Host.ID == h.ID {
+			panic(fmt.Sprintf("chord: host %d already on ring", h.ID))
+		}
+	}
+	id := ID(c.r.Uint64())
+	for c.byID(id) != nil {
+		id = ID(c.r.Uint64())
+	}
+	n := &Node{ID: id, Host: h}
+	c.nodes = append(c.nodes, n)
+	sort.Slice(c.nodes, func(i, j int) bool { return c.nodes[i].ID < c.nodes[j].ID })
+	return n
+}
+
+func (c *Ring) byID(id ID) *Node {
+	i := sort.Search(len(c.nodes), func(i int) bool { return c.nodes[i].ID >= id })
+	if i < len(c.nodes) && c.nodes[i].ID == id {
+		return c.nodes[i]
+	}
+	return nil
+}
+
+// Nodes returns the ring membership in ID order.
+func (c *Ring) Nodes() []*Node { return c.nodes }
+
+// successorOf returns the first node clockwise from id (inclusive).
+func (c *Ring) successorOf(id ID) *Node {
+	i := sort.Search(len(c.nodes), func(i int) bool { return c.nodes[i].ID >= id })
+	if i == len(c.nodes) {
+		i = 0
+	}
+	return c.nodes[i]
+}
+
+// Build constructs successor lists and finger tables. With PNS, each
+// finger slot considers every node of its interval and keeps the
+// RTT-closest — Castro et al.'s observation that constrained table slots
+// still leave O(N/2^i) candidates to pick proximally from.
+func (c *Ring) Build() {
+	n := len(c.nodes)
+	if n == 0 {
+		panic("chord: Build on empty ring")
+	}
+	for idx, node := range c.nodes {
+		node.successors = node.successors[:0]
+		for s := 1; s <= c.Cfg.SuccessorList && s < n; s++ {
+			node.successors = append(node.successors, c.nodes[(idx+s)%n])
+		}
+		for i := 0; i < 64; i++ {
+			start := node.ID + (ID(1) << uint(i))
+			if c.Cfg.PNS {
+				node.fingers[i] = c.closestInInterval(node, start, ID(1)<<uint(i))
+			} else {
+				f := c.successorOf(start)
+				if f == node {
+					f = nil
+				}
+				node.fingers[i] = f
+			}
+		}
+	}
+}
+
+// closestInInterval returns the RTT-closest node whose ID lies in
+// [start, start+span) on the ring, or nil when the interval is empty of
+// other nodes.
+func (c *Ring) closestInInterval(from *Node, start, span ID) *Node {
+	var best *Node
+	bestRTT := sim.Forever
+	// Iterate candidates clockwise from start while inside the interval.
+	cur := c.successorOf(start)
+	for i := 0; i < len(c.nodes); i++ {
+		offset := cur.ID - start // ring arithmetic wraps naturally
+		if offset >= span {
+			break
+		}
+		if cur != from {
+			if rtt := c.U.RTT(from.Host, cur.Host); rtt < bestRTT {
+				best, bestRTT = cur, rtt
+			}
+		}
+		next := c.successorOf(cur.ID + 1)
+		if next == cur {
+			break
+		}
+		cur = next
+	}
+	return best
+}
+
+// between reports whether x ∈ (a, b] on the ring.
+func between(a, x, b ID) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b
+}
+
+// LookupResult summarizes one routed lookup.
+type LookupResult struct {
+	// Owner is the node responsible for the key (its successor).
+	Owner *Node
+	// Hops is the overlay path length.
+	Hops int
+	// Latency sums per-hop one-way delays (greedy forwarding).
+	Latency sim.Duration
+	// Msgs counts routing messages.
+	Msgs int
+}
+
+// Lookup routes greedily from the node on `from` toward key: at each
+// step, the current node forwards to its farthest finger that does not
+// overshoot the key (classic Chord routing), falling back to successors.
+func (c *Ring) Lookup(from underlay.HostID, key ID) LookupResult {
+	var cur *Node
+	for _, n := range c.nodes {
+		if n.Host.ID == from {
+			cur = n
+			break
+		}
+	}
+	if cur == nil {
+		return LookupResult{}
+	}
+	var res LookupResult
+	owner := c.successorOf(key)
+	for cur != owner {
+		next := c.nextHop(cur, key)
+		if next == nil || next == cur {
+			break
+		}
+		res.Hops++
+		res.Msgs++
+		c.Msgs.Get("route").Inc()
+		c.U.Send(cur.Host, next.Host, c.Cfg.RPCBytes)
+		res.Latency += c.U.Latency(cur.Host, next.Host)
+		cur = next
+		if res.Hops > len(c.nodes) {
+			break // routing failure guard; cannot happen on a built ring
+		}
+	}
+	res.Owner = cur
+	return res
+}
+
+// nextHop picks the forwarding target: the farthest finger in (cur, key],
+// else the first successor in (cur, key], else the owner directly.
+func (c *Ring) nextHop(cur *Node, key ID) *Node {
+	for i := 63; i >= 0; i-- {
+		f := cur.fingers[i]
+		if f != nil && between(cur.ID, f.ID, key) {
+			return f
+		}
+	}
+	for _, s := range cur.successors {
+		if between(cur.ID, s.ID, key) {
+			return s
+		}
+	}
+	// Final hop: the immediate successor owns the key.
+	if len(cur.successors) > 0 {
+		return cur.successors[0]
+	}
+	return nil
+}

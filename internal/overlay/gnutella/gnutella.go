@@ -1,0 +1,384 @@
+// Package gnutella implements an unstructured Gnutella-style overlay on
+// the simulated underlay: ultrapeer/leaf roles, Hostcache-driven
+// bootstrapping, TTL-limited Ping/Pong discovery and Query flooding with
+// reverse-path QueryHit routing, and an HTTP-like file-exchange stage.
+//
+// It is the workhorse of the paper's central evidence (Aggarwal et al.):
+// with an ISP oracle ranking the Hostcache at join time ("biased neighbor
+// selection") the overlay clusters along AS boundaries (Figures 5/6),
+// message counts drop (their Table 1), and consulting the oracle again at
+// the file-exchange stage drives intra-AS transfers from ~6.5% to ~40%.
+package gnutella
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"unap2p/internal/metrics"
+	"unap2p/internal/oracle"
+	"unap2p/internal/sim"
+	"unap2p/internal/underlay"
+	"unap2p/internal/workload"
+)
+
+// Message sizes in bytes (representative Gnutella 0.6 frame sizes; only
+// relative magnitudes matter for traffic accounting).
+const (
+	pingBytes     = 23
+	pongBytes     = 37
+	queryBytes    = 64
+	queryHitBytes = 120
+)
+
+// Config tunes the overlay.
+type Config struct {
+	// UltraDegree is the target number of ultrapeer↔ultrapeer neighbors.
+	UltraDegree int
+	// MaxUltraDegree caps accepted connections (refusals beyond it).
+	MaxUltraDegree int
+	// MaxLeaves caps how many leaves one ultrapeer accepts.
+	MaxLeaves int
+	// LeafParents is how many ultrapeers each leaf connects to.
+	LeafParents int
+	// HostcacheSize is the random subset of known addresses each joining
+	// node holds — the list it sends to the oracle in biased mode (the
+	// "cache 100 / cache 1000" knob of Aggarwal et al.'s Table 1).
+	HostcacheSize int
+	// PingTTL and QueryTTL limit flooding scope.
+	PingTTL  int
+	QueryTTL int
+	// FileSize is the bytes transferred per download.
+	FileSize uint64
+	// BiasJoin consults the oracle when choosing neighbors.
+	BiasJoin bool
+	// BiasSource consults the oracle again among QueryHits when picking
+	// the download source (the file-exchange stage).
+	BiasSource bool
+	// ExternalPerNode reserves this many of a biased node's connections
+	// for peers *outside* its AS — "a minimal number of inter-AS
+	// connections necessary to keep the network connected" (§4, and the
+	// k-external rule of Bindal et al.'s biased neighbor selection).
+	ExternalPerNode int
+	// PongCache enables Gnutella 0.6 pong caching: pings travel a single
+	// hop and the receiving ultrapeer answers from its cache of known
+	// hosts instead of re-flooding — the protocol optimization that tamed
+	// Ping/Pong traffic in deployed Gnutella.
+	PongCache bool
+	// PongCacheSize caps the pongs returned per cached reply.
+	PongCacheSize int
+}
+
+// DefaultConfig mirrors common GTK-Gnutella settings scaled for
+// simulation.
+func DefaultConfig() Config {
+	return Config{
+		UltraDegree:     5,
+		MaxUltraDegree:  8,
+		MaxLeaves:       30,
+		LeafParents:     1,
+		HostcacheSize:   100,
+		PingTTL:         2,
+		QueryTTL:        3,
+		FileSize:        4 << 20, // 4 MB
+		ExternalPerNode: 1,
+	}
+}
+
+// Node is one Gnutella servent.
+type Node struct {
+	Host  *underlay.Host
+	Ultra bool
+	// neighbors are ultrapeer↔ultrapeer connections (only for ultras).
+	neighbors map[underlay.HostID]bool
+	// leaves are attached leaf nodes (only for ultras).
+	leaves map[underlay.HostID]bool
+	// parents are the leaf's ultrapeers (only for leaves).
+	parents map[underlay.HostID]bool
+	// hostcache is the node's known-address list.
+	hostcache []underlay.HostID
+	// seen de-duplicates flooded GUIDs → the neighbor we first heard it
+	// from (the reverse-path backpointer).
+	seen map[uint64]underlay.HostID
+}
+
+// Degree returns the node's ultrapeer connection count.
+func (n *Node) Degree() int { return len(n.neighbors) }
+
+// Hostcache returns the node's known-address list (a copy).
+func (n *Node) Hostcache() []underlay.HostID {
+	return append([]underlay.HostID(nil), n.hostcache...)
+}
+
+// LeafCount returns how many leaves are attached (0 for leaf nodes).
+func (n *Node) LeafCount() int { return len(n.leaves) }
+
+// Overlay is a Gnutella network instance bound to an underlay and kernel.
+type Overlay struct {
+	U   *underlay.Network
+	K   *sim.Kernel
+	Cfg Config
+	// Oracle, when non-nil and Cfg.BiasJoin/BiasSource set, biases
+	// decisions.
+	Oracle *oracle.Oracle
+	// Catalog holds the shared content.
+	Catalog *workload.Catalog
+	// Msgs counts protocol messages by type: "ping", "pong", "query",
+	// "queryhit".
+	Msgs *metrics.CounterSet
+	// FileTraffic accounts file-exchange bytes by AS pair, separately
+	// from signalling.
+	FileTraffic *metrics.TrafficMatrix
+	// Downloads counts completed transfers; IntraASDownloads those whose
+	// endpoints shared an AS.
+	Downloads, IntraASDownloads uint64
+	// SettleTime, when positive, bounds how long RunSearch advances the
+	// kernel; required when the kernel carries recurring non-search
+	// events (churn, mobility) that keep its queue non-empty forever.
+	SettleTime sim.Duration
+
+	nodes       map[underlay.HostID]*Node
+	order       []underlay.HostID // join order for deterministic iteration
+	r           *rand.Rand
+	guid        uint64
+	pendingHits map[uint64]*SearchResult
+}
+
+// New creates an empty overlay.
+func New(u *underlay.Network, k *sim.Kernel, cfg Config, r *rand.Rand) *Overlay {
+	return &Overlay{
+		U:           u,
+		K:           k,
+		Cfg:         cfg,
+		Catalog:     workload.NewCatalog(0),
+		Msgs:        metrics.NewCounterSet(),
+		FileTraffic: metrics.NewTrafficMatrix(),
+		nodes:       make(map[underlay.HostID]*Node),
+		r:           r,
+		pendingHits: make(map[uint64]*SearchResult),
+	}
+}
+
+// Node returns the servent on a host (nil if absent).
+func (o *Overlay) Node(id underlay.HostID) *Node { return o.nodes[id] }
+
+// Nodes returns all servents in join order.
+func (o *Overlay) Nodes() []*Node {
+	out := make([]*Node, 0, len(o.order))
+	for _, id := range o.order {
+		out = append(out, o.nodes[id])
+	}
+	return out
+}
+
+// AddNode registers a servent for a host with the given role. It does not
+// connect it; call Join (or JoinAll).
+func (o *Overlay) AddNode(h *underlay.Host, ultra bool) *Node {
+	if _, dup := o.nodes[h.ID]; dup {
+		panic(fmt.Sprintf("gnutella: host %d already has a node", h.ID))
+	}
+	n := &Node{
+		Host:      h,
+		Ultra:     ultra,
+		neighbors: make(map[underlay.HostID]bool),
+		leaves:    make(map[underlay.HostID]bool),
+		parents:   make(map[underlay.HostID]bool),
+		seen:      make(map[uint64]underlay.HostID),
+	}
+	o.nodes[h.ID] = n
+	o.order = append(o.order, h.ID)
+	return n
+}
+
+// fillHostcache gives n a random sample of other nodes' addresses.
+func (o *Overlay) fillHostcache(n *Node) {
+	n.hostcache = n.hostcache[:0]
+	perm := o.r.Perm(len(o.order))
+	for _, idx := range perm {
+		id := o.order[idx]
+		if id == n.Host.ID {
+			continue
+		}
+		n.hostcache = append(n.hostcache, id)
+		if o.Cfg.HostcacheSize > 0 && len(n.hostcache) >= o.Cfg.HostcacheSize {
+			break
+		}
+	}
+}
+
+// Join connects a node: leaves attach to ultrapeers; ultrapeers open
+// UltraDegree connections. In biased mode the node sends its Hostcache to
+// the oracle and walks the ranked list ("joins another node within its AS
+// if such a node is present in its Hostcache, else … the nearest AS").
+func (o *Overlay) Join(n *Node) {
+	o.fillHostcache(n)
+	candidates := make([]underlay.HostID, 0, len(n.hostcache))
+	for _, id := range n.hostcache {
+		c := o.nodes[id]
+		if c != nil && c.Ultra && c.Host.Up {
+			candidates = append(candidates, id)
+		}
+	}
+	// unranked keeps the Hostcache's random order: external (inter-AS)
+	// links are drawn from it so that the few long-range edges are random
+	// rather than all funnelling into the nearest AS — randomness is what
+	// keeps the clustered overlay one connected component.
+	unranked := candidates
+	if o.Cfg.BiasJoin && o.Oracle != nil {
+		candidates = o.Oracle.Rank(n.Host, candidates)
+	}
+	if n.Ultra {
+		connect := func(id underlay.HostID, force bool) bool {
+			c := o.nodes[id]
+			if n.neighbors[id] || id == n.Host.ID {
+				return false
+			}
+			if !force && c.Degree() >= o.Cfg.MaxUltraDegree {
+				return false
+			}
+			n.neighbors[id] = true
+			c.neighbors[n.Host.ID] = true
+			return true
+		}
+		// In biased mode, reserve ExternalPerNode slots for out-of-AS
+		// peers so AS clusters stay mutually connected.
+		external := 0
+		if o.Cfg.BiasJoin {
+			external = o.Cfg.ExternalPerNode
+		}
+		budget := o.Cfg.UltraDegree - external
+		for _, id := range candidates {
+			if n.Degree() >= budget {
+				break
+			}
+			connect(id, false)
+		}
+		if external > 0 {
+			made := 0
+			for _, id := range unranked {
+				if made >= external {
+					break
+				}
+				if o.nodes[id].Host.AS.ID != n.Host.AS.ID && connect(id, false) {
+					made++
+				}
+			}
+			// If every random pick was full, force one inter-AS link
+			// rather than risk partition.
+			if made == 0 {
+				for _, id := range unranked {
+					if o.nodes[id].Host.AS.ID != n.Host.AS.ID && connect(id, true) {
+						break
+					}
+				}
+			}
+		}
+		// Connectivity fallback: a node that found no open slot connects
+		// to its best candidate regardless of caps.
+		if n.Degree() == 0 && len(candidates) > 0 {
+			connect(candidates[0], true)
+		}
+		return
+	}
+	for _, id := range candidates {
+		if len(n.parents) >= o.Cfg.LeafParents {
+			break
+		}
+		c := o.nodes[id]
+		if len(c.leaves) >= o.Cfg.MaxLeaves {
+			continue
+		}
+		n.parents[id] = true
+		c.leaves[n.Host.ID] = true
+	}
+}
+
+// JoinAll joins every node in join order (ultrapeers first so leaves find
+// parents).
+func (o *Overlay) JoinAll() {
+	ids := append([]underlay.HostID(nil), o.order...)
+	sort.SliceStable(ids, func(i, j int) bool {
+		ni, nj := o.nodes[ids[i]], o.nodes[ids[j]]
+		if ni.Ultra != nj.Ultra {
+			return ni.Ultra
+		}
+		return false
+	})
+	for _, id := range ids {
+		o.Join(o.nodes[id])
+	}
+}
+
+// Leave disconnects a node from the overlay (churn hook).
+func (o *Overlay) Leave(n *Node) {
+	for id := range n.neighbors {
+		delete(o.nodes[id].neighbors, n.Host.ID)
+	}
+	n.neighbors = make(map[underlay.HostID]bool)
+	for id := range n.leaves {
+		delete(o.nodes[id].parents, n.Host.ID)
+	}
+	n.leaves = make(map[underlay.HostID]bool)
+	for id := range n.parents {
+		delete(o.nodes[id].leaves, n.Host.ID)
+	}
+	n.parents = make(map[underlay.HostID]bool)
+}
+
+// Edges returns the ultrapeer overlay edges (each once) plus leaf
+// attachments, for clustering analysis.
+func (o *Overlay) Edges() []metrics.Edge {
+	var edges []metrics.Edge
+	for _, id := range o.order {
+		n := o.nodes[id]
+		for nb := range n.neighbors {
+			if id < nb {
+				edges = append(edges, metrics.Edge{A: int(id), B: int(nb)})
+			}
+		}
+		for p := range n.parents {
+			edges = append(edges, metrics.Edge{A: int(id), B: int(p)})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	return edges
+}
+
+// ASLabels returns the host→AS labelling aligned with host IDs, sized to
+// the underlay's host table (for metrics helpers).
+func (o *Overlay) ASLabels() []int {
+	labels := make([]int, o.U.NumHosts())
+	for _, h := range o.U.Hosts() {
+		labels[h.ID] = h.AS.ID
+	}
+	return labels
+}
+
+func (o *Overlay) nextGUID() uint64 {
+	o.guid++
+	return o.guid
+}
+
+// send accounts one protocol message on the underlay and returns its
+// delivery latency.
+func (o *Overlay) send(kind string, from, to *underlay.Host, bytes uint64) sim.Duration {
+	o.Msgs.Get(kind).Inc()
+	return o.U.Send(from, to, bytes)
+}
+
+// sortedIDs returns a set's members in ascending order. Protocol fan-out
+// iterates over these so that event sequencing — and therefore the whole
+// simulation — is deterministic despite Go's randomized map iteration.
+func sortedIDs(set map[underlay.HostID]bool) []underlay.HostID {
+	out := make([]underlay.HostID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

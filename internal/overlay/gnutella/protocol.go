@@ -1,0 +1,301 @@
+package gnutella
+
+import (
+	"unap2p/internal/underlay"
+	"unap2p/internal/workload"
+)
+
+// Ping floods a discovery ping from node id with the configured TTL.
+// Every node reached replies with a Pong routed hop-by-hop back along the
+// reverse path — the Gnutella 0.4 semantics whose Pong traffic dwarfs Ping
+// traffic (75.5M Pongs vs 7.6M Pings in Aggarwal et al.'s Table 1).
+func (o *Overlay) Ping(from underlay.HostID) {
+	n := o.nodes[from]
+	if n == nil || !n.Host.Up {
+		return
+	}
+	if o.Cfg.PongCache {
+		o.cachedPing(n)
+		return
+	}
+	guid := o.nextGUID()
+	n.seen[guid] = from // origin marks itself
+	for _, nb := range sortedIDs(n.neighbors) {
+		o.forwardPing(guid, from, nb, o.Cfg.PingTTL)
+	}
+}
+
+// cachedPing implements Gnutella 0.6 pong caching: one Ping per neighbor,
+// each answered directly with up to PongCacheSize pongs drawn from the
+// neighbor's own contact cache (its neighbors plus learned hosts). The
+// pinging node learns the returned addresses into its Hostcache — same
+// discovery result, a fraction of the 0.4 flooding traffic.
+func (o *Overlay) cachedPing(n *Node) {
+	limit := o.Cfg.PongCacheSize
+	if limit <= 0 {
+		limit = 10
+	}
+	for _, nb := range sortedIDs(n.neighbors) {
+		recv := o.nodes[nb]
+		if recv == nil || !recv.Host.Up {
+			continue
+		}
+		nbID := nb
+		d := o.send("ping", n.Host, recv.Host, pingBytes)
+		o.K.Schedule(d, func() {
+			sent := 0
+			reply := func(id underlay.HostID) {
+				if sent >= limit || id == n.Host.ID {
+					return
+				}
+				back := o.send("pong", recv.Host, n.Host, pongBytes)
+				sent++
+				o.K.Schedule(back, func() { o.learn(n, id) })
+			}
+			for _, id := range sortedIDs(recv.neighbors) {
+				if sent >= limit {
+					break
+				}
+				reply(id)
+			}
+			for _, id := range recv.hostcache {
+				if sent >= limit {
+					break
+				}
+				if !o.nodes[nbID].neighbors[id] {
+					reply(id)
+				}
+			}
+		})
+	}
+}
+
+// learn adds an address to a node's Hostcache (deduplicated, capped).
+func (o *Overlay) learn(n *Node, id underlay.HostID) {
+	if id == n.Host.ID {
+		return
+	}
+	for _, have := range n.hostcache {
+		if have == id {
+			return
+		}
+	}
+	if o.Cfg.HostcacheSize > 0 && len(n.hostcache) >= o.Cfg.HostcacheSize {
+		return
+	}
+	n.hostcache = append(n.hostcache, id)
+}
+
+func (o *Overlay) forwardPing(guid uint64, from, to underlay.HostID, ttl int) {
+	if ttl <= 0 {
+		return
+	}
+	sender, recv := o.nodes[from], o.nodes[to]
+	if sender == nil || recv == nil || !recv.Host.Up {
+		return
+	}
+	d := o.send("ping", sender.Host, recv.Host, pingBytes)
+	o.K.Schedule(d, func() {
+		if _, dup := recv.seen[guid]; dup {
+			return
+		}
+		recv.seen[guid] = from
+		// Reply with a Pong routed back along the reverse path.
+		o.routeBack("pong", guid, to, pongBytes)
+		// Forward to all other neighbors.
+		for _, nb := range sortedIDs(recv.neighbors) {
+			if nb != from {
+				o.forwardPing(guid, to, nb, ttl-1)
+			}
+		}
+	})
+}
+
+// routeBack relays a response from node at back to the GUID's origin,
+// one overlay hop at a time, counting a message per hop.
+func (o *Overlay) routeBack(kind string, guid uint64, at underlay.HostID, bytes uint64) {
+	n := o.nodes[at]
+	if n == nil {
+		return
+	}
+	prev, ok := n.seen[guid]
+	if !ok || prev == at {
+		return // origin reached (or unknown GUID)
+	}
+	next := o.nodes[prev]
+	if next == nil || !next.Host.Up {
+		return
+	}
+	d := o.send(kind, n.Host, next.Host, bytes)
+	o.K.Schedule(d, func() { o.routeBack(kind, guid, prev, bytes) })
+}
+
+// SearchResult accumulates the hits of one query.
+type SearchResult struct {
+	From underlay.HostID
+	Item workload.ItemID
+	// Hits are the hosts that reported having the item (in arrival
+	// order; deterministic given the kernel).
+	Hits []underlay.HostID
+	// Done is set when the flood has quiesced (kernel drained).
+	Done bool
+
+	guid uint64
+}
+
+// Search floods a query for item from the given node. Hits accumulate in
+// the returned result as the kernel processes the flood; run the kernel
+// (or RunSearch) to completion before reading Hits.
+//
+// Leaves do not flood: they hand the query to their ultrapeers, which
+// answer for their own leaves' shared files (the ultrapeer indexes its
+// leaves, Gnutella 0.6-style).
+func (o *Overlay) Search(from underlay.HostID, item workload.ItemID) *SearchResult {
+	res := &SearchResult{From: from, Item: item}
+	n := o.nodes[from]
+	if n == nil || !n.Host.Up {
+		res.Done = true
+		return res
+	}
+	guid := o.nextGUID()
+	res.guid = guid
+	n.seen[guid] = from
+	o.pendingHits[guid] = res
+
+	if n.Ultra {
+		o.answerLocal(guid, n, item)
+		for _, nb := range sortedIDs(n.neighbors) {
+			o.forwardQuery(guid, item, from, nb, o.Cfg.QueryTTL)
+		}
+		return res
+	}
+	for _, p := range sortedIDs(n.parents) {
+		o.forwardQuery(guid, item, from, p, o.Cfg.QueryTTL)
+	}
+	return res
+}
+
+// answerLocal reports hits among the ultrapeer's own shared files and its
+// leaves' files; hits route back toward the query's origin (the routing
+// recognizes when the answering node *is* the origin and delivers
+// directly without messages).
+func (o *Overlay) answerLocal(guid uint64, up *Node, item workload.ItemID) {
+	if o.Catalog.Has(up.Host.ID, item) {
+		o.sendHitBack(guid, up.Host.ID, up.Host.ID)
+	}
+	for _, leaf := range sortedIDs(up.leaves) {
+		if o.nodes[leaf].Host.Up && o.Catalog.Has(leaf, item) {
+			o.sendHitBack(guid, up.Host.ID, leaf)
+		}
+	}
+}
+
+// sendHitBack starts a QueryHit at node 'at' carrying 'holder' and routes
+// it to the origin along the reverse path, delivering into the pending
+// result when it arrives.
+func (o *Overlay) sendHitBack(guid uint64, at, holder underlay.HostID) {
+	n := o.nodes[at]
+	if n == nil {
+		return
+	}
+	prev, ok := n.seen[guid]
+	if !ok {
+		return
+	}
+	if prev == at {
+		// We are the origin.
+		if res := o.pendingHits[guid]; res != nil {
+			res.Hits = append(res.Hits, holder)
+		}
+		return
+	}
+	next := o.nodes[prev]
+	if next == nil || !next.Host.Up {
+		return
+	}
+	d := o.send("queryhit", n.Host, next.Host, queryHitBytes)
+	o.K.Schedule(d, func() { o.sendHitBack(guid, prev, holder) })
+}
+
+func (o *Overlay) forwardQuery(guid uint64, item workload.ItemID, from, to underlay.HostID, ttl int) {
+	if ttl <= 0 {
+		return
+	}
+	sender, recv := o.nodes[from], o.nodes[to]
+	if sender == nil || recv == nil || !recv.Host.Up {
+		return
+	}
+	d := o.send("query", sender.Host, recv.Host, queryBytes)
+	o.K.Schedule(d, func() {
+		if _, dup := recv.seen[guid]; dup {
+			return
+		}
+		recv.seen[guid] = from
+		o.answerLocal(guid, recv, item)
+		for _, nb := range sortedIDs(recv.neighbors) {
+			if nb != from {
+				o.forwardQuery(guid, item, to, nb, ttl-1)
+			}
+		}
+	})
+}
+
+// RunSearch floods the query and runs the kernel until the flood settles,
+// returning the completed result — the synchronous convenience the
+// experiments use. With no other event sources it drains the kernel; when
+// recurring activity (churn, mobility, meters) shares the kernel, set
+// SettleTime on the overlay and RunSearch advances simulated time by that
+// bound instead.
+func (o *Overlay) RunSearch(from underlay.HostID, item workload.ItemID) *SearchResult {
+	res := o.Search(from, item)
+	if o.SettleTime > 0 {
+		o.K.Run(o.K.Now() + o.SettleTime)
+	} else {
+		o.K.Drain()
+	}
+	res.Done = true
+	delete(o.pendingHits, res.guid)
+	return res
+}
+
+// Download picks a source among the result's hits — uniformly at random in
+// unbiased mode, oracle-closest when Cfg.BiasSource — and transfers the
+// file. It reports whether a transfer happened and whether it stayed
+// inside one AS.
+func (o *Overlay) Download(res *SearchResult) (ok, intraAS bool) {
+	// Exclude ourselves as a source.
+	var hits []underlay.HostID
+	for _, h := range res.Hits {
+		if h != res.From && o.U.Host(h).Up {
+			hits = append(hits, h)
+		}
+	}
+	if len(hits) == 0 {
+		return false, false
+	}
+	requester := o.U.Host(res.From)
+	var src underlay.HostID
+	if o.Cfg.BiasSource && o.Oracle != nil {
+		src, _ = o.Oracle.Best(requester, hits)
+	} else {
+		src = hits[o.r.Intn(len(hits))]
+	}
+	source := o.U.Host(src)
+	o.U.Send(source, requester, o.Cfg.FileSize)
+	o.FileTraffic.Add(source.AS.ID, requester.AS.ID, o.Cfg.FileSize)
+	o.Downloads++
+	intra := source.AS.ID == requester.AS.ID
+	if intra {
+		o.IntraASDownloads++
+	}
+	return true, intra
+}
+
+// IntraASDownloadFraction returns the share of downloads that stayed
+// within one AS — the headline locality number.
+func (o *Overlay) IntraASDownloadFraction() float64 {
+	if o.Downloads == 0 {
+		return 0
+	}
+	return float64(o.IntraASDownloads) / float64(o.Downloads)
+}

@@ -1,0 +1,62 @@
+package kademlia
+
+import (
+	"testing"
+
+	"unap2p/internal/sim"
+	"unap2p/internal/topology"
+)
+
+func benchDHT(b *testing.B, pns bool) *DHT {
+	b.Helper()
+	src := sim.NewSource(1)
+	net := topology.TransitStub(topology.TransitStubConfig{
+		Config:   topology.Config{IntraDelay: 5, LinkDelay: 25, Rand: src.Stream("topo")},
+		Transits: 2, Stubs: 8,
+	})
+	topology.PlaceHosts(net, 15, false, 1, 5, src.Stream("place"))
+	cfg := DefaultConfig()
+	cfg.PNS = pns
+	d := New(net, cfg, src.Stream("dht"))
+	for _, h := range net.Hosts() {
+		d.AddNode(h)
+	}
+	d.Bootstrap(4)
+	return d
+}
+
+// BenchmarkLookup measures an iterative FIND_NODE on a warm 120-node DHT.
+func BenchmarkLookup(b *testing.B) {
+	d := benchDHT(b, false)
+	probe := sim.NewSource(2).Stream("probe")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := d.Nodes()[probe.Intn(len(d.Nodes()))].Host
+		d.Lookup(from, NodeID(probe.Uint64()))
+	}
+}
+
+// BenchmarkLookupPNS is the same workload with proximity-filled buckets.
+func BenchmarkLookupPNS(b *testing.B) {
+	d := benchDHT(b, true)
+	probe := sim.NewSource(2).Stream("probe")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := d.Nodes()[probe.Intn(len(d.Nodes()))].Host
+		d.Lookup(from, NodeID(probe.Uint64()))
+	}
+}
+
+// BenchmarkObserve measures routing-table insertion with PNS replacement.
+func BenchmarkObserve(b *testing.B) {
+	d := benchDHT(b, true)
+	n := d.Nodes()[0]
+	contacts := make([]Contact, 0, len(d.Nodes()))
+	for _, other := range d.Nodes() {
+		contacts = append(contacts, other.Contact)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.observe(contacts[i%len(contacts)])
+	}
+}

@@ -1,0 +1,236 @@
+// Package kademlia implements a Kademlia DHT over the simulated underlay:
+// XOR metric, k-buckets, iterative α-parallel lookups, and STORE/FIND —
+// plus the proximity neighbor selection (PNS) of Kaune et al. ("Embracing
+// the peer next door: Proximity in Kademlia", IEEE P2P 2008 — [17] in the
+// paper), which fills k-buckets with underlay-close contacts to cut
+// inter-AS DHT traffic without hurting hop counts.
+//
+// IDs are 64-bit (a documented down-scaling of Kademlia's 160-bit space;
+// the metric's properties are bit-width independent and 64 bits are ample
+// for simulated populations).
+package kademlia
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"unap2p/internal/metrics"
+	"unap2p/internal/underlay"
+)
+
+// NodeID is a position in the 64-bit XOR keyspace.
+type NodeID uint64
+
+// Key is a content key in the same space.
+type Key = NodeID
+
+// Distance returns the XOR distance between two IDs.
+func Distance(a, b NodeID) uint64 { return uint64(a ^ b) }
+
+// bucketIndex returns the k-bucket index for a contact at the given XOR
+// distance: the position of the highest set bit (0 = closest half-space
+// ... 63 = farthest). Distance 0 (self) has no bucket and returns -1.
+func bucketIndex(d uint64) int {
+	if d == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(d)
+}
+
+// Contact pairs a DHT identifier with its underlay attachment.
+type Contact struct {
+	ID   NodeID
+	Host underlay.HostID
+}
+
+// Config tunes the DHT.
+type Config struct {
+	// K is the bucket size / replication factor.
+	K int
+	// Alpha is the lookup parallelism.
+	Alpha int
+	// PNS enables proximity neighbor selection: when a bucket is full,
+	// keep the proximity-closest contacts instead of Kademlia's
+	// oldest-alive rule.
+	PNS bool
+	// Proximity supplies PNS's distance estimate between two hosts.
+	// Nil defaults to the true underlay RTT (explicit measurement); pass
+	// a Vivaldi or landmark-bin predictor to study prediction-driven PNS
+	// (the §3.2 collection techniques plugged into §4 usage).
+	Proximity func(a, b *underlay.Host) float64
+	// RPCBytes is the size of one request or response message.
+	RPCBytes uint64
+}
+
+// DefaultConfig uses the classic k=8 (scaled from 20), α=3.
+func DefaultConfig() Config { return Config{K: 8, Alpha: 3, RPCBytes: 100} }
+
+// Node is one DHT participant.
+type Node struct {
+	Contact
+	host    *underlay.Host
+	buckets [][]Contact // index by bucketIndex
+	store   map[Key][]byte
+	cfg     Config
+	dht     *DHT
+}
+
+// DHT is a Kademlia instance bound to an underlay.
+type DHT struct {
+	U   *underlay.Network
+	Cfg Config
+	// Msgs counts RPCs ("find_node", "find_value", "store", "response").
+	Msgs *metrics.CounterSet
+	// LookupTraffic accounts RPC bytes by AS pair.
+	LookupTraffic *metrics.TrafficMatrix
+
+	nodes     map[underlay.HostID]*Node
+	byID      map[NodeID]*Node
+	sorted    []*Node // by NodeID, for deterministic iteration
+	r         *rand.Rand
+	proximity func(a, b *underlay.Host) float64
+}
+
+// New creates an empty DHT.
+func New(u *underlay.Network, cfg Config, r *rand.Rand) *DHT {
+	if cfg.K < 1 || cfg.Alpha < 1 {
+		panic("kademlia: K and Alpha must be ≥ 1")
+	}
+	d := &DHT{
+		U:             u,
+		Cfg:           cfg,
+		Msgs:          metrics.NewCounterSet(),
+		LookupTraffic: metrics.NewTrafficMatrix(),
+		nodes:         make(map[underlay.HostID]*Node),
+		byID:          make(map[NodeID]*Node),
+		r:             r,
+	}
+	d.proximity = cfg.Proximity
+	if d.proximity == nil {
+		d.proximity = func(a, b *underlay.Host) float64 { return float64(u.RTT(a, b)) }
+	}
+	return d
+}
+
+// AddNode joins a host with a random (collision-free) node ID.
+func (d *DHT) AddNode(h *underlay.Host) *Node {
+	if _, dup := d.nodes[h.ID]; dup {
+		panic(fmt.Sprintf("kademlia: host %d already joined", h.ID))
+	}
+	id := NodeID(d.r.Uint64())
+	for _, taken := d.byID[id]; taken; _, taken = d.byID[id] {
+		id = NodeID(d.r.Uint64())
+	}
+	n := &Node{
+		Contact: Contact{ID: id, Host: h.ID},
+		host:    h,
+		buckets: make([][]Contact, 64),
+		store:   make(map[Key][]byte),
+		cfg:     d.Cfg,
+		dht:     d,
+	}
+	d.nodes[h.ID] = n
+	d.byID[id] = n
+	d.sorted = append(d.sorted, n)
+	sort.Slice(d.sorted, func(i, j int) bool { return d.sorted[i].ID < d.sorted[j].ID })
+	return n
+}
+
+// Node returns the participant on a host (nil if absent).
+func (d *DHT) Node(h underlay.HostID) *Node { return d.nodes[h] }
+
+// Nodes returns all participants in NodeID order.
+func (d *DHT) Nodes() []*Node { return d.sorted }
+
+// observe inserts a learned contact into n's routing table.
+func (n *Node) observe(c Contact) {
+	if c.ID == n.ID {
+		return
+	}
+	idx := bucketIndex(Distance(n.ID, c.ID))
+	b := n.buckets[idx]
+	for _, have := range b {
+		if have.ID == c.ID {
+			return // already known
+		}
+	}
+	if len(b) < n.cfg.K {
+		n.buckets[idx] = append(b, c)
+		return
+	}
+	if !n.cfg.PNS {
+		return // classic Kademlia: bucket full, drop newcomer
+	}
+	// PNS: keep the K proximity-closest contacts for this bucket.
+	prox := n.dht.proximity
+	worst, worstLat := -1, -1.0
+	for i, have := range b {
+		lat := prox(n.host, n.dht.U.Host(have.Host))
+		if lat > worstLat {
+			worst, worstLat = i, lat
+		}
+	}
+	newLat := prox(n.host, n.dht.U.Host(c.Host))
+	if worst >= 0 && newLat < worstLat {
+		n.buckets[idx][worst] = c
+	}
+}
+
+// closest returns up to k contacts from n's table nearest to target,
+// including n itself as a candidate the caller may use.
+func (n *Node) closest(target NodeID, k int) []Contact {
+	var all []Contact
+	for _, b := range n.buckets {
+		all = append(all, b...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		di, dj := Distance(all[i].ID, target), Distance(all[j].ID, target)
+		if di != dj {
+			return di < dj
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// BucketFill reports the total number of routing-table entries (test and
+// experiment introspection).
+func (n *Node) BucketFill() int {
+	total := 0
+	for _, b := range n.buckets {
+		total += len(b)
+	}
+	return total
+}
+
+// Contacts returns every contact in the routing table.
+func (n *Node) Contacts() []Contact {
+	var all []Contact
+	for _, b := range n.buckets {
+		all = append(all, b...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
+}
+
+// Bootstrap populates routing tables: every node observes `seeds` random
+// peers, then performs a self-lookup (the standard Kademlia join), which
+// both fills its own table and advertises it to the nodes it traverses.
+func (d *DHT) Bootstrap(seeds int) {
+	for _, n := range d.sorted {
+		for s := 0; s < seeds; s++ {
+			peer := d.sorted[d.r.Intn(len(d.sorted))]
+			if peer != n {
+				n.observe(peer.Contact)
+			}
+		}
+	}
+	for _, n := range d.sorted {
+		d.Lookup(n.Host, n.ID)
+	}
+}

@@ -1,0 +1,190 @@
+package kademlia
+
+import (
+	"sort"
+
+	"unap2p/internal/sim"
+	"unap2p/internal/underlay"
+)
+
+// LookupResult summarizes one iterative lookup.
+type LookupResult struct {
+	// Closest are the K nearest contacts found, nearest first.
+	Closest []Contact
+	// Hops is the number of lookup rounds.
+	Hops int
+	// Msgs is the number of RPC messages (requests + responses).
+	Msgs int
+	// Latency is the wall-clock cost: per round, the α requests run in
+	// parallel, so the round costs the slowest RTT of the batch.
+	Latency sim.Duration
+	// Value is the payload when the lookup was a Get and a holder was
+	// found.
+	Value []byte
+	// Found reports whether a Get located the value.
+	Found bool
+}
+
+// Lookup performs an iterative FIND_NODE from the given host toward
+// target, updating routing tables along the way (every response teaches
+// the querier new contacts, and every queried node observes the querier).
+func (d *DHT) Lookup(from underlay.HostID, target NodeID) LookupResult {
+	return d.lookup(from, target, nil)
+}
+
+// Get performs FIND_VALUE: like Lookup but terminates early when a
+// traversed node holds key.
+func (d *DHT) Get(from underlay.HostID, key Key) LookupResult {
+	return d.lookup(from, key, &key)
+}
+
+func (d *DHT) lookup(from underlay.HostID, target NodeID, valueKey *Key) LookupResult {
+	origin := d.nodes[from]
+	if origin == nil {
+		return LookupResult{}
+	}
+	kind := "find_node"
+	if valueKey != nil {
+		kind = "find_value"
+	}
+
+	var res LookupResult
+	queried := map[NodeID]bool{origin.ID: true}
+
+	type cand struct {
+		c Contact
+		d uint64
+	}
+	var shortlist []cand
+	addCand := func(c Contact) {
+		for _, have := range shortlist {
+			if have.c.ID == c.ID {
+				return
+			}
+		}
+		shortlist = append(shortlist, cand{c: c, d: Distance(c.ID, target)})
+	}
+	for _, c := range origin.closest(target, d.Cfg.K) {
+		addCand(c)
+	}
+
+	sortShort := func() {
+		sort.Slice(shortlist, func(i, j int) bool {
+			if shortlist[i].d != shortlist[j].d {
+				return shortlist[i].d < shortlist[j].d
+			}
+			return shortlist[i].c.ID < shortlist[j].c.ID
+		})
+	}
+	topContacts := func() []Contact {
+		out := make([]Contact, 0, d.Cfg.K)
+		for i := 0; i < len(shortlist) && i < d.Cfg.K; i++ {
+			out = append(out, shortlist[i].c)
+		}
+		return out
+	}
+
+	for {
+		sortShort()
+		// Pick up to α unqueried candidates among the K best.
+		var batch []Contact
+		limit := len(shortlist)
+		if limit > d.Cfg.K {
+			limit = d.Cfg.K
+		}
+		for i := 0; i < limit && len(batch) < d.Cfg.Alpha; i++ {
+			if !queried[shortlist[i].c.ID] {
+				batch = append(batch, shortlist[i].c)
+			}
+		}
+		if len(batch) == 0 {
+			break
+		}
+		res.Hops++
+		var roundLatency sim.Duration
+		for _, c := range batch {
+			queried[c.ID] = true
+			peer := d.byID[c.ID]
+			if peer == nil || !peer.host.Up {
+				continue // dead contact: RPC times out, contributes nothing
+			}
+			// Request and response, accounted on the underlay.
+			d.Msgs.Get(kind).Inc()
+			d.Msgs.Get("response").Inc()
+			d.U.Send(origin.host, peer.host, d.Cfg.RPCBytes)
+			d.U.Send(peer.host, origin.host, d.Cfg.RPCBytes)
+			d.LookupTraffic.Add(origin.host.AS.ID, peer.host.AS.ID, d.Cfg.RPCBytes)
+			d.LookupTraffic.Add(peer.host.AS.ID, origin.host.AS.ID, d.Cfg.RPCBytes)
+			res.Msgs += 2
+			rtt := d.U.RTT(origin.host, peer.host)
+			if rtt > roundLatency {
+				roundLatency = rtt
+			}
+			// The queried node learns about the querier; the querier
+			// learns the peer's K closest to the target.
+			peer.observe(origin.Contact)
+			if valueKey != nil {
+				if v, ok := peer.store[*valueKey]; ok {
+					res.Latency += roundLatency
+					res.Value = v
+					res.Found = true
+					sortShort()
+					res.Closest = topContacts()
+					return res
+				}
+			}
+			for _, learned := range peer.closest(target, d.Cfg.K) {
+				origin.observe(learned)
+				addCand(learned)
+			}
+		}
+		res.Latency += roundLatency
+	}
+
+	sortShort()
+	res.Closest = topContacts()
+	return res
+}
+
+// Put stores value under key on the K closest nodes found by a lookup
+// from the given host, counting one STORE RPC per replica.
+func (d *DHT) Put(from underlay.HostID, key Key, value []byte) LookupResult {
+	res := d.Lookup(from, key)
+	origin := d.nodes[from]
+	for _, c := range res.Closest {
+		peer := d.byID[c.ID]
+		if peer == nil || !peer.host.Up {
+			continue
+		}
+		d.Msgs.Get("store").Inc()
+		d.U.Send(origin.host, peer.host, d.Cfg.RPCBytes+uint64(len(value)))
+		d.LookupTraffic.Add(origin.host.AS.ID, peer.host.AS.ID, d.Cfg.RPCBytes+uint64(len(value)))
+		res.Msgs++
+		peer.store[key] = value
+	}
+	// The origin may itself be among the K closest.
+	if origin != nil && withinKClosest(d, key, origin.ID) {
+		origin.store[key] = value
+	}
+	return res
+}
+
+// withinKClosest reports whether id is among the true K closest node IDs
+// to key (global knowledge used only for the origin's self-store check).
+func withinKClosest(d *DHT, key Key, id NodeID) bool {
+	type nd struct {
+		id NodeID
+		d  uint64
+	}
+	all := make([]nd, 0, len(d.sorted))
+	for _, n := range d.sorted {
+		all = append(all, nd{id: n.ID, d: Distance(n.ID, key)})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	for i := 0; i < len(all) && i < d.Cfg.K; i++ {
+		if all[i].id == id {
+			return true
+		}
+	}
+	return false
+}

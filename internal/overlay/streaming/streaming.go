@@ -1,0 +1,307 @@
+// Package streaming implements a mesh-pull P2P live-streaming overlay
+// with the bandwidth-aware scheduling of da Silva, Leonardi, Mellia and
+// Meo ("A bandwidth-aware scheduling strategy for P2P-TV systems", IEEE
+// P2P 2008 — [6] in the paper, Table 1's peer-resources row): a source
+// emits a chunk per tick; peers pull missing chunks from mesh neighbors
+// before their playout deadline; choosing *high-upload* parents (peer-
+// resources awareness) raises playback continuity over random meshes.
+package streaming
+
+import (
+	"fmt"
+	"math/rand"
+
+	"unap2p/internal/metrics"
+	"unap2p/internal/resources"
+	"unap2p/internal/underlay"
+)
+
+// Config tunes the stream.
+type Config struct {
+	// BitrateKbps is the stream rate; a peer's chunk-per-tick upload
+	// budget is UpKbps/BitrateKbps (one tick carries one chunk).
+	BitrateKbps float64
+	// ChunkBytes is the size of one chunk on the wire.
+	ChunkBytes uint64
+	// Window is how many chunks ahead of the playhead a peer will pull.
+	Window int
+	// StartupDelay is the playout offset in ticks: at tick t every peer
+	// must play chunk t−StartupDelay.
+	StartupDelay int
+	// Parents is the number of mesh parents per peer.
+	Parents int
+	// SourceFanout guarantees the source directly parents this many
+	// viewers; without it the whole stream can bottleneck through a
+	// single lucky child.
+	SourceFanout int
+	// Aware selects bandwidth-aware parent assignment: parents are drawn
+	// with probability proportional to their upload capacity instead of
+	// uniformly.
+	Aware bool
+}
+
+// DefaultConfig streams at 400 kbps with a 10-chunk window.
+func DefaultConfig() Config {
+	return Config{
+		BitrateKbps:  400,
+		ChunkBytes:   50 << 10,
+		Window:       10,
+		StartupDelay: 12,
+		Parents:      4,
+		SourceFanout: 6,
+	}
+}
+
+// Peer is one viewer.
+type Peer struct {
+	Host *underlay.Host
+	// have marks received chunks.
+	have map[int]bool
+	// parents are the neighbors this peer pulls from.
+	parents []*Peer
+	// budget accumulates fractional upload capacity across ticks.
+	budget float64
+	// upPerTick is the chunks/tick this peer can upload.
+	upPerTick float64
+	// Played and Missed count playout outcomes.
+	Played, Missed int
+	isSource       bool
+}
+
+// Has reports chunk possession.
+func (p *Peer) Has(chunk int) bool { return p.isSource || p.have[chunk] }
+
+// Mesh is a streaming session.
+type Mesh struct {
+	U     *underlay.Network
+	Cfg   Config
+	Table *resources.Table
+	// ChunkTraffic accounts chunk bytes by AS pair.
+	ChunkTraffic *metrics.TrafficMatrix
+
+	source *Peer
+	peers  []*Peer
+	tick   int
+	r      *rand.Rand
+}
+
+// NewMesh creates a session rooted at the source host.
+func NewMesh(u *underlay.Network, table *resources.Table, source *underlay.Host,
+	cfg Config, r *rand.Rand) *Mesh {
+	if cfg.Parents < 1 || cfg.Window < 1 || cfg.BitrateKbps <= 0 {
+		panic("streaming: invalid config")
+	}
+	m := &Mesh{
+		U: u, Cfg: cfg, Table: table,
+		ChunkTraffic: metrics.NewTrafficMatrix(),
+		r:            r,
+	}
+	m.source = &Peer{Host: source, have: map[int]bool{}, isSource: true, upPerTick: 1e9}
+	return m
+}
+
+// AddViewer joins a host as a viewer.
+func (m *Mesh) AddViewer(h *underlay.Host) *Peer {
+	if h.ID == m.source.Host.ID {
+		panic("streaming: source cannot also view")
+	}
+	for _, p := range m.peers {
+		if p.Host.ID == h.ID {
+			panic(fmt.Sprintf("streaming: host %d already viewing", h.ID))
+		}
+	}
+	up := m.Table.Get(h.ID).UpKbps
+	p := &Peer{
+		Host:      h,
+		have:      map[int]bool{},
+		upPerTick: up / m.Cfg.BitrateKbps,
+	}
+	m.peers = append(m.peers, p)
+	return p
+}
+
+// Peers returns the viewers in join order.
+func (m *Mesh) Peers() []*Peer { return m.peers }
+
+// AssignParents wires the mesh: every viewer gets Cfg.Parents parents
+// from {source} ∪ viewers. Unaware: uniform; aware: capacity-weighted
+// (high-upload peers parent many children — the bandwidth-aware strategy).
+func (m *Mesh) AssignParents() {
+	candidates := append([]*Peer{m.source}, m.peers...)
+	weights := make([]float64, len(candidates))
+	var total float64
+	for i, c := range candidates {
+		w := 1.0
+		if m.Cfg.Aware {
+			w = c.upPerTick
+			if c.isSource {
+				w = 2 // the source is one peer, not infinite capacity
+			}
+		}
+		weights[i] = w
+		total += w
+	}
+	pickWeighted := func() *Peer {
+		x := m.r.Float64() * total
+		for i, w := range weights {
+			x -= w
+			if x <= 0 {
+				return candidates[i]
+			}
+		}
+		return candidates[len(candidates)-1]
+	}
+	for _, p := range m.peers {
+		seen := map[underlay.HostID]bool{p.Host.ID: true}
+		for tries := 0; len(p.parents) < m.Cfg.Parents && tries < 200; tries++ {
+			c := pickWeighted()
+			if seen[c.Host.ID] {
+				continue
+			}
+			seen[c.Host.ID] = true
+			p.parents = append(p.parents, c)
+		}
+	}
+	// Guaranteed source fan-out: the first SourceFanout viewers (spread
+	// by a shuffle) get the source as an extra parent unless they have
+	// it already.
+	fan := m.Cfg.SourceFanout
+	if fan > len(m.peers) {
+		fan = len(m.peers)
+	}
+	order := m.r.Perm(len(m.peers))
+	for _, idx := range order {
+		if fan == 0 {
+			break
+		}
+		p := m.peers[idx]
+		hasSource := false
+		for _, par := range p.parents {
+			if par.isSource {
+				hasSource = true
+				break
+			}
+		}
+		if !hasSource {
+			p.parents = append(p.parents, m.source)
+		}
+		fan--
+	}
+}
+
+// Tick advances the stream one chunk: the source originates chunk
+// m.tick, every peer pulls its most urgent missing chunks from parents
+// that have them (parents serve within their upload budgets), and every
+// peer whose playout deadline passed scores the chunk played or missed.
+func (m *Mesh) Tick() {
+	chunk := m.tick
+	m.source.have[chunk] = true
+	// Refill budgets.
+	m.source.budget = 1e9
+	for _, p := range m.peers {
+		p.budget += p.upPerTick
+		if p.budget > 4*p.upPerTick+1 {
+			p.budget = 4*p.upPerTick + 1 // cap hoarding
+		}
+	}
+	// Pull phase: peers in deterministic order request their most urgent
+	// window chunks. A request succeeds if some parent has the chunk and
+	// upload budget left.
+	playhead := m.tick - m.Cfg.StartupDelay
+	for _, p := range m.peers {
+		if !p.Host.Up {
+			continue
+		}
+		low := playhead
+		if low < 0 {
+			low = 0
+		}
+		for c := low; c <= chunk && c < low+m.Cfg.Window; c++ {
+			if p.have[c] {
+				continue
+			}
+			for _, parent := range p.parents {
+				if !parent.Host.Up || !parent.Has(c) || parent.budget < 1 {
+					continue
+				}
+				parent.budget--
+				p.have[c] = true
+				m.U.Send(parent.Host, p.Host, m.Cfg.ChunkBytes)
+				m.ChunkTraffic.Add(parent.Host.AS.ID, p.Host.AS.ID, m.Cfg.ChunkBytes)
+				break
+			}
+		}
+	}
+	// Playout phase.
+	if playhead >= 0 {
+		for _, p := range m.peers {
+			if !p.Host.Up {
+				continue
+			}
+			if p.have[playhead] {
+				p.Played++
+				delete(p.have, playhead) // played chunks leave the buffer
+			} else {
+				p.Missed++
+			}
+		}
+	}
+	m.tick++
+}
+
+// Run advances the stream n ticks.
+func (m *Mesh) Run(n int) {
+	for i := 0; i < n; i++ {
+		m.Tick()
+	}
+}
+
+// Continuity returns the fraction of playout deadlines met across all
+// viewers — the P2P-TV quality metric.
+func (m *Mesh) Continuity() float64 {
+	var played, total int
+	for _, p := range m.peers {
+		played += p.Played
+		total += p.Played + p.Missed
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(played) / float64(total)
+}
+
+// WorstContinuity returns the worst single viewer's continuity — aware
+// scheduling should lift the tail, not just the mean.
+func (m *Mesh) WorstContinuity() float64 {
+	worst := 1.0
+	for _, p := range m.peers {
+		t := p.Played + p.Missed
+		if t == 0 {
+			continue
+		}
+		if c := float64(p.Played) / float64(t); c < worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// ParentCapacityMean reports the mean upload capacity (chunks/tick) over
+// all parent slots — the knob awareness turns.
+func (m *Mesh) ParentCapacityMean() float64 {
+	var sum float64
+	n := 0
+	for _, p := range m.peers {
+		for _, parent := range p.parents {
+			if parent.isSource {
+				continue
+			}
+			sum += parent.upPerTick
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

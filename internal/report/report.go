@@ -1,0 +1,68 @@
+// Package report persists experiment results to disk: one text table and
+// one JSON document per experiment, plus an index — so a full
+// reproduction run leaves an auditable artifact trail.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"unap2p/internal/experiments"
+)
+
+// Writer saves results under a directory.
+type Writer struct {
+	Dir string
+
+	written []string
+}
+
+// NewWriter creates (or reuses) the output directory.
+func NewWriter(dir string) (*Writer, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("report: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	return &Writer{Dir: dir}, nil
+}
+
+// Save writes <id>.txt (rendered table) and <id>.json for one result.
+func (w *Writer) Save(res experiments.Result) error {
+	txt := filepath.Join(w.Dir, res.ID+".txt")
+	if err := os.WriteFile(txt, []byte(res.Render()), 0o644); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	jsonPath := filepath.Join(w.Dir, res.ID+".json")
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	w.written = append(w.written, res.ID)
+	return nil
+}
+
+// Finish writes an INDEX.txt listing every saved experiment and returns
+// the number of results written.
+func (w *Writer) Finish() (int, error) {
+	ids := append([]string(nil), w.written...)
+	sort.Strings(ids)
+	var sb strings.Builder
+	sb.WriteString("unap2p experiment results\n")
+	sb.WriteString("=========================\n\n")
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "%-24s %s\n", id, experiments.TitleOf(id))
+	}
+	if err := os.WriteFile(filepath.Join(w.Dir, "INDEX.txt"), []byte(sb.String()), 0o644); err != nil {
+		return 0, fmt.Errorf("report: %w", err)
+	}
+	return len(ids), nil
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unap2p/internal/experiments"
+)
+
+func TestSaveAndFinish(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiments.Run("fig2-costs", experiments.RunConfig{Seed: 1, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Save(res); err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Finish()
+	if err != nil || n != 1 {
+		t.Fatalf("finish: n=%d err=%v", n, err)
+	}
+
+	txt, err := os.ReadFile(filepath.Join(dir, "fig2-costs.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "fig2-costs") {
+		t.Fatal("text artifact missing header")
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "fig2-costs.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "fig2-costs" || len(back.Rows) == 0 {
+		t.Fatalf("json artifact wrong: %+v", back)
+	}
+	idx, err := os.ReadFile(filepath.Join(dir, "INDEX.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(idx), "fig2-costs") {
+		t.Fatal("index missing entry")
+	}
+}
+
+func TestNewWriterValidation(t *testing.T) {
+	if _, err := NewWriter(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	// A path under an existing *file* must fail.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWriter(filepath.Join(f, "sub")); err == nil {
+		t.Fatal("dir under file accepted")
+	}
+}

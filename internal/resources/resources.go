@@ -1,0 +1,144 @@
+// Package resources models peer capabilities (§2.3): bandwidth, processing
+// power, storage, memory, and expected online time. A resource-aware P2P
+// system arranges its overlay "in such a way that different roles in the
+// network are taken by appropriate nodes" — concretely, super-peer
+// election picks the most capable, most stable nodes.
+package resources
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"unap2p/internal/underlay"
+)
+
+// Resources is a peer's capability vector.
+type Resources struct {
+	// UpKbps and DownKbps are the access bandwidths.
+	UpKbps, DownKbps float64
+	// CPU is a normalized processing-power score (1.0 ≈ median desktop).
+	CPU float64
+	// DiskGB is shareable storage.
+	DiskGB float64
+	// MemMB is available memory.
+	MemMB float64
+	// MeanOnlineH is the peer's expected session length in hours; long
+	// uptime is the strongest super-peer signal.
+	MeanOnlineH float64
+}
+
+// Score condenses the vector into a super-peer suitability score: a
+// weighted geometric mean, so a deficiency in any dimension (e.g. a fast
+// but flaky node) drags the score down.
+func (r Resources) Score() float64 {
+	terms := []struct {
+		v, norm, w float64
+	}{
+		{r.UpKbps, 1000, 0.35},
+		{r.CPU, 1, 0.15},
+		{r.MemMB, 512, 0.10},
+		{r.DiskGB, 10, 0.05},
+		{r.MeanOnlineH, 2, 0.35},
+	}
+	score := 1.0
+	for _, t := range terms {
+		x := t.v / t.norm
+		if x <= 0 {
+			return 0
+		}
+		score *= math.Pow(x, t.w)
+	}
+	return score
+}
+
+// Generate draws a realistic heavy-tailed resource vector: most peers are
+// modest DSL nodes, a few are university/server-class machines.
+func Generate(r *rand.Rand) Resources {
+	// Log-normal upstream around 700 kbps with heavy tail.
+	up := math.Exp(r.NormFloat64()*1.1 + math.Log(700))
+	return Resources{
+		UpKbps:      up,
+		DownKbps:    up * (4 + 4*r.Float64()),
+		CPU:         math.Exp(r.NormFloat64() * 0.5),
+		DiskGB:      math.Exp(r.NormFloat64()*1.0 + math.Log(20)),
+		MemMB:       256 * math.Exp(r.NormFloat64()*0.8),
+		MeanOnlineH: math.Exp(r.NormFloat64()*1.0 + math.Log(1.5)),
+	}
+}
+
+// Table stores resources per host.
+type Table struct {
+	byHost map[underlay.HostID]Resources
+}
+
+// NewTable returns an empty resource table.
+func NewTable() *Table { return &Table{byHost: make(map[underlay.HostID]Resources)} }
+
+// Set stores a host's resources.
+func (t *Table) Set(id underlay.HostID, r Resources) { t.byHost[id] = r }
+
+// Get returns a host's resources (zero value if unknown).
+func (t *Table) Get(id underlay.HostID) Resources { return t.byHost[id] }
+
+// GenerateAll assigns generated resources to every host in the network.
+func GenerateAll(net *underlay.Network, r *rand.Rand) *Table {
+	t := NewTable()
+	for _, h := range net.Hosts() {
+		t.Set(h.ID, Generate(r))
+	}
+	return t
+}
+
+// ElectSuperPeers returns the top fraction of hosts by score, with at
+// least minPerAS chosen from every AS that has hosts — the "more accurate
+// super-peer selection process" of §2.3 combined with locality so each
+// ISP's leaf peers find a nearby ultrapeer.
+func ElectSuperPeers(net *underlay.Network, t *Table, fraction float64, minPerAS int) []underlay.HostID {
+	type scored struct {
+		id    underlay.HostID
+		as    int
+		score float64
+	}
+	all := make([]scored, 0, net.NumHosts())
+	for _, h := range net.Hosts() {
+		all = append(all, scored{id: h.ID, as: h.AS.ID, score: t.Get(h.ID).Score()})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].id < all[j].id
+	})
+	target := int(math.Ceil(fraction * float64(len(all))))
+	if target < 1 && len(all) > 0 {
+		target = 1
+	}
+	chosen := make(map[underlay.HostID]bool)
+	perAS := make(map[int]int)
+	var out []underlay.HostID
+	add := func(s scored) {
+		if !chosen[s.id] {
+			chosen[s.id] = true
+			perAS[s.as]++
+			out = append(out, s.id)
+		}
+	}
+	// Global top slots first.
+	for _, s := range all {
+		if len(out) >= target {
+			break
+		}
+		add(s)
+	}
+	// Locality guarantee: best nodes of under-served ASes.
+	if minPerAS > 0 {
+		for _, s := range all {
+			if perAS[s.as] < minPerAS {
+				add(s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,143 @@
+package resources
+
+import (
+	"testing"
+	"testing/quick"
+
+	"unap2p/internal/sim"
+	"unap2p/internal/topology"
+	"unap2p/internal/underlay"
+)
+
+func TestScoreOrdering(t *testing.T) {
+	weak := Resources{UpKbps: 128, DownKbps: 1024, CPU: 0.5, DiskGB: 5, MemMB: 256, MeanOnlineH: 0.5}
+	strong := Resources{UpKbps: 10000, DownKbps: 50000, CPU: 2, DiskGB: 200, MemMB: 4096, MeanOnlineH: 24}
+	if weak.Score() >= strong.Score() {
+		t.Fatalf("weak %v ≥ strong %v", weak.Score(), strong.Score())
+	}
+}
+
+func TestScoreZeroDimension(t *testing.T) {
+	r := Resources{UpKbps: 10000, CPU: 1, DiskGB: 10, MemMB: 512, MeanOnlineH: 0}
+	if r.Score() != 0 {
+		t.Fatal("zero uptime must zero the score (geometric mean)")
+	}
+}
+
+func TestScorePunishesImbalance(t *testing.T) {
+	// Fast-but-flaky vs balanced with the same "total": geometric mean
+	// prefers balance.
+	flaky := Resources{UpKbps: 100000, DownKbps: 1, CPU: 1, DiskGB: 10, MemMB: 512, MeanOnlineH: 0.01}
+	balanced := Resources{UpKbps: 1000, DownKbps: 4000, CPU: 1, DiskGB: 10, MemMB: 512, MeanOnlineH: 2}
+	if flaky.Score() >= balanced.Score() {
+		t.Fatalf("flaky %v ≥ balanced %v", flaky.Score(), balanced.Score())
+	}
+}
+
+func TestGenerateDistribution(t *testing.T) {
+	r := sim.NewSource(1).Stream("res")
+	var sumUp float64
+	maxUp := 0.0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		res := Generate(r)
+		if res.UpKbps <= 0 || res.DownKbps < res.UpKbps || res.MeanOnlineH <= 0 {
+			t.Fatalf("implausible resources %+v", res)
+		}
+		sumUp += res.UpKbps
+		if res.UpKbps > maxUp {
+			maxUp = res.UpKbps
+		}
+	}
+	mean := sumUp / n
+	// Heavy tail: max should dwarf the mean.
+	if maxUp < 5*mean {
+		t.Fatalf("no heavy tail: max %v vs mean %v", maxUp, mean)
+	}
+}
+
+func buildNet() *underlay.Network {
+	net := topology.Star(5, topology.DefaultConfig())
+	topology.PlaceHosts(net, 10, false, 1, 2, sim.NewSource(2).Stream("res-place"))
+	return net
+}
+
+func TestGenerateAllAndTable(t *testing.T) {
+	net := buildNet()
+	tab := GenerateAll(net, sim.NewSource(3).Stream("res-gen"))
+	for _, h := range net.Hosts() {
+		if tab.Get(h.ID).UpKbps <= 0 {
+			t.Fatalf("host %d missing resources", h.ID)
+		}
+	}
+	if tab.Get(9999).UpKbps != 0 {
+		t.Fatal("unknown host should have zero resources")
+	}
+}
+
+func TestElectSuperPeersFraction(t *testing.T) {
+	net := buildNet()
+	tab := GenerateAll(net, sim.NewSource(4).Stream("res-gen2"))
+	sp := ElectSuperPeers(net, tab, 0.1, 0)
+	if len(sp) != 4 { // 40 hosts × 10%
+		t.Fatalf("elected %d, want 4", len(sp))
+	}
+	// Elected peers must dominate the score distribution: every elected
+	// score ≥ every non-elected score.
+	elected := map[underlay.HostID]bool{}
+	minElected := 1e18
+	for _, id := range sp {
+		elected[id] = true
+		if s := tab.Get(id).Score(); s < minElected {
+			minElected = s
+		}
+	}
+	for _, h := range net.Hosts() {
+		if !elected[h.ID] && tab.Get(h.ID).Score() > minElected {
+			t.Fatalf("non-elected host %d outscores an elected one", h.ID)
+		}
+	}
+}
+
+func TestElectSuperPeersMinPerAS(t *testing.T) {
+	net := buildNet()
+	tab := GenerateAll(net, sim.NewSource(5).Stream("res-gen3"))
+	sp := ElectSuperPeers(net, tab, 0.05, 1)
+	perAS := map[int]int{}
+	for _, id := range sp {
+		perAS[net.Host(id).AS.ID]++
+	}
+	for _, as := range net.ASes() {
+		if as.Kind == underlay.LocalISP && perAS[as.ID] < 1 {
+			t.Fatalf("AS%d has no super-peer despite minPerAS=1", as.ID)
+		}
+	}
+}
+
+func TestElectSuperPeersAtLeastOne(t *testing.T) {
+	net := buildNet()
+	tab := GenerateAll(net, sim.NewSource(6).Stream("res-gen4"))
+	sp := ElectSuperPeers(net, tab, 0.000001, 0)
+	if len(sp) != 1 {
+		t.Fatalf("tiny fraction elected %d, want 1", len(sp))
+	}
+}
+
+// Property: scaling every dimension up never lowers the score.
+func TestQuickScoreMonotone(t *testing.T) {
+	f := func(up, on uint16, scale uint8) bool {
+		base := Resources{
+			UpKbps: float64(up) + 1, DownKbps: 1, CPU: 1, DiskGB: 1, MemMB: 1,
+			MeanOnlineH: float64(on)/100 + 0.01,
+		}
+		k := 1 + float64(scale%10)
+		bigger := Resources{
+			UpKbps: base.UpKbps * k, DownKbps: base.DownKbps * k, CPU: base.CPU * k,
+			DiskGB: base.DiskGB * k, MemMB: base.MemMB * k, MeanOnlineH: base.MeanOnlineH * k,
+		}
+		return bigger.Score() >= base.Score()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelThroughput measures raw event processing: schedule-and-
+// fire chains, the hot loop under every overlay simulation.
+func BenchmarkKernelThroughput(b *testing.B) {
+	k := NewKernel()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			k.Schedule(1, tick)
+		}
+	}
+	b.ResetTimer()
+	k.Schedule(1, tick)
+	k.Drain()
+	if n != b.N {
+		b.Fatalf("processed %d of %d", n, b.N)
+	}
+}
+
+// BenchmarkKernelFanout measures heap behaviour with many pending events.
+func BenchmarkKernelFanout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := NewKernel()
+		for j := 0; j < 1000; j++ {
+			k.Schedule(Duration(j%97), func() {})
+		}
+		k.Drain()
+	}
+}
+
+// BenchmarkStreamDerivation measures named-substream creation.
+func BenchmarkStreamDerivation(b *testing.B) {
+	s := NewSource(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Stream("component")
+	}
+}

@@ -1,0 +1,189 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All unap2p experiments run on this kernel: a single goroutine drains a
+// time-ordered event heap, so a run is reproducible bit-for-bit given the
+// same seed. Parallelism in unap2p happens *across* simulator instances
+// (parameter sweeps), never inside one.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in milliseconds since the start of the run.
+type Time float64
+
+// Duration is a span of simulated time in milliseconds.
+type Duration = Time
+
+// Common durations, in milliseconds.
+const (
+	Millisecond Duration = 1
+	Second      Duration = 1000
+	Minute      Duration = 60 * Second
+	Hour        Duration = 60 * Minute
+)
+
+// Forever is a time later than any event a simulation will schedule.
+const Forever Time = Time(math.MaxFloat64)
+
+// Seconds reports t as seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1000 }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fms", float64(t)) }
+
+// Event is a pending callback in the kernel's queue.
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events fire in schedule order
+	fn  func()
+	idx int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event scheduler. The zero value is ready to use.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// processed counts events executed, for diagnostics and run limits.
+	processed uint64
+	// MaxEvents, when non-zero, aborts Run after that many events as a
+	// runaway-simulation backstop.
+	MaxEvents uint64
+}
+
+// NewKernel returns an empty kernel at time 0.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Processed reports how many events have executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending reports how many events are queued.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Timer identifies a scheduled event so it can be cancelled.
+type Timer struct {
+	k *Kernel
+	e *event
+}
+
+// Cancel removes the event if it has not fired yet. It reports whether the
+// event was still pending.
+func (t Timer) Cancel() bool {
+	if t.e == nil || t.e.idx < 0 {
+		return false
+	}
+	heap.Remove(&t.k.queue, t.e.idx)
+	return true
+}
+
+// Schedule runs fn after delay (clamped to >= 0) of simulated time.
+func (k *Kernel) Schedule(delay Duration, fn func()) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return k.At(k.now+delay, fn)
+}
+
+// At runs fn at absolute time t. Times in the past fire "now".
+func (k *Kernel) At(t Time, fn func()) Timer {
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	if t < k.now {
+		t = k.now
+	}
+	e := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return Timer{k: k, e: e}
+}
+
+// Every schedules fn at now+period, then every period thereafter, until the
+// returned cancel function is called or the run ends.
+func (k *Kernel) Every(period Duration, fn func()) (cancel func()) {
+	if period <= 0 {
+		panic("sim: non-positive period")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			k.Schedule(period, tick)
+		}
+	}
+	k.Schedule(period, tick)
+	return func() { stopped = true }
+}
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in time order until the queue empties, Stop is
+// called, simulated time would exceed until, or MaxEvents is hit.
+// It returns the simulated time at which the run ended.
+func (k *Kernel) Run(until Time) Time {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		next := k.queue[0]
+		if next.at > until {
+			k.now = until
+			return k.now
+		}
+		heap.Pop(&k.queue)
+		k.now = next.at
+		k.processed++
+		next.fn()
+		if k.MaxEvents != 0 && k.processed >= k.MaxEvents {
+			break
+		}
+	}
+	if k.now < until && until < Forever && len(k.queue) == 0 {
+		// Queue drained before a finite horizon: time jumps to the horizon
+		// so repeated Run calls remain monotone.
+		k.now = until
+	}
+	return k.now
+}
+
+// Drain runs until the queue is empty with no time horizon.
+func (k *Kernel) Drain() Time { return k.Run(Forever) }

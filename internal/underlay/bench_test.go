@@ -1,0 +1,59 @@
+package underlay
+
+import (
+	"testing"
+
+	"unap2p/internal/sim"
+)
+
+// benchNet builds a 3-transit / 40-stub hierarchy.
+func benchNet() *Network {
+	n := New()
+	var transits []*AS
+	for i := 0; i < 3; i++ {
+		transits = append(transits, n.AddAS(TransitISP, 3))
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			n.ConnectPeering(transits[i], transits[j], 10)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		s := n.AddAS(LocalISP, 2)
+		n.ConnectTransit(s, transits[i%3], sim.Duration(10+i%7))
+		n.AddHost(s, 3)
+	}
+	return n
+}
+
+// BenchmarkComputeRoutes measures the parallel valley-free APSP.
+func BenchmarkComputeRoutes(b *testing.B) {
+	n := benchNet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.ComputeRoutes()
+	}
+}
+
+// BenchmarkLatencyQuery measures a host-to-host latency lookup on warm
+// routing tables — the inner loop of every overlay message.
+func BenchmarkLatencyQuery(b *testing.B) {
+	n := benchNet()
+	hosts := n.Hosts()
+	n.ComputeRoutes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.Latency(hosts[i%len(hosts)], hosts[(i*7+1)%len(hosts)])
+	}
+}
+
+// BenchmarkSend measures traffic accounting along a routed path.
+func BenchmarkSend(b *testing.B) {
+	n := benchNet()
+	hosts := n.Hosts()
+	n.ComputeRoutes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(hosts[i%len(hosts)], hosts[(i*11+3)%len(hosts)], 1000)
+	}
+}

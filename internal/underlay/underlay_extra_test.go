@@ -1,0 +1,103 @@
+package underlay
+
+import (
+	"testing"
+)
+
+// TestMultihomedStubUsesShorterProvider verifies BGP-ish path choice: a
+// stub with two providers routes each destination over the provider that
+// yields the shorter AS path (tie-broken by delay).
+func TestMultihomedStubUsesShorterProvider(t *testing.T) {
+	n := New()
+	t0 := n.AddAS(TransitISP, 1)
+	t1 := n.AddAS(TransitISP, 1)
+	n.ConnectPeering(t0, t1, 50)
+	s := n.AddAS(LocalISP, 1) // multihomed
+	n.ConnectTransit(s, t0, 10)
+	n.ConnectTransit(s, t1, 40)
+	d0 := n.AddAS(LocalISP, 1) // customer of t0
+	d1 := n.AddAS(LocalISP, 1) // customer of t1
+	n.ConnectTransit(d0, t0, 5)
+	n.ConnectTransit(d1, t1, 5)
+
+	// s→d0 must go via t0, s→d1 via t1 (both 2 hops; never 3 via the
+	// transit peering).
+	if p := n.ASPath(s.ID, d0.ID); len(p) != 3 || p[1] != t0.ID {
+		t.Fatalf("s→d0 path %v, want via t0", p)
+	}
+	if p := n.ASPath(s.ID, d1.ID); len(p) != 3 || p[1] != t1.ID {
+		t.Fatalf("s→d1 path %v, want via t1", p)
+	}
+}
+
+// TestParallelLinksPickFaster verifies that when two links join the same
+// AS pair, traffic accounting charges the lower-delay one (the one
+// routing uses).
+func TestParallelLinksPickFaster(t *testing.T) {
+	n := New()
+	a := n.AddAS(LocalISP, 1)
+	b := n.AddAS(LocalISP, 1)
+	slow := n.ConnectPeering(a, b, 50)
+	fast := n.ConnectPeering(a, b, 5)
+	ha := n.AddHost(a, 0)
+	hb := n.AddHost(b, 0)
+	n.Send(ha, hb, 1000)
+	if fast.Bytes() != 1000 || slow.Bytes() != 0 {
+		t.Fatalf("bytes fast=%d slow=%d; should use the faster link", fast.Bytes(), slow.Bytes())
+	}
+	if d := n.ASDelay(a.ID, b.ID); d != 5 {
+		t.Fatalf("delay = %v, want 5", d)
+	}
+}
+
+// TestLinkCarryDirections verifies per-direction byte accounting.
+func TestLinkCarryDirections(t *testing.T) {
+	n := New()
+	a := n.AddAS(LocalISP, 0)
+	b := n.AddAS(TransitISP, 0)
+	l := n.ConnectTransit(a, b, 10)
+	ha := n.AddHost(a, 0)
+	hb := n.AddHost(b, 0)
+	n.Send(ha, hb, 100)
+	n.Send(hb, ha, 40)
+	if l.BytesAB != 100 || l.BytesBA != 40 {
+		t.Fatalf("AB=%d BA=%d", l.BytesAB, l.BytesBA)
+	}
+	if l.Delay(a.ID) != 10 || l.Delay(b.ID) != 10 {
+		t.Fatal("Delay accessor wrong")
+	}
+	if l.Other(a.ID) != b || l.Other(b.ID) != a {
+		t.Fatal("Other accessor wrong")
+	}
+}
+
+// TestLatencyPanicsOnUnreachable documents the configuration-error panic.
+func TestLatencyPanicsOnUnreachable(t *testing.T) {
+	n := New()
+	a := n.AddAS(LocalISP, 0)
+	b := n.AddAS(LocalISP, 0)
+	ha := n.AddHost(a, 0)
+	hb := n.AddHost(b, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Latency(ha, hb)
+}
+
+// TestValleyFreeMultihomedNoTransitLeak: a multihomed stub must never
+// provide transit between its two providers.
+func TestValleyFreeMultihomedNoTransitLeak(t *testing.T) {
+	n := New()
+	t0 := n.AddAS(TransitISP, 1)
+	t1 := n.AddAS(TransitISP, 1)
+	s := n.AddAS(LocalISP, 1)
+	n.ConnectTransit(s, t0, 5)
+	n.ConnectTransit(s, t1, 5)
+	// Without a transit-core link, t0 and t1 can only talk through s —
+	// which valley-free forbids (customer does not transit providers).
+	if n.Reachable(t0.ID, t1.ID) {
+		t.Fatalf("customer leaked transit between its providers: %v", n.ASPath(t0.ID, t1.ID))
+	}
+}
