@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+# ci is the full verification gate: static analysis, a clean build of
+# every package, and the test suite under the race detector.
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs every benchmark once (compile + smoke); use
+# `go test -bench=. ./internal/...` directly for real measurements.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

@@ -13,6 +13,7 @@ import (
 	"unap2p/internal/overlay/geotree"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 )
 
 func main() {
@@ -22,7 +23,7 @@ func main() {
 
 	// Every peer gets a noisy GPS fix of its true position and registers
 	// in the tree under it.
-	tree := geotree.New(net, geotree.DefaultConfig())
+	tree := geotree.New(transport.Over(net), geotree.DefaultConfig())
 	for _, h := range hosts {
 		tree.Insert(h)
 	}

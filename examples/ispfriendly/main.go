@@ -12,6 +12,7 @@ import (
 	"unap2p/internal/overlay/bittorrent"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -27,7 +28,7 @@ func main() {
 
 		cfg := bittorrent.DefaultConfig()
 		cfg.Biased = biased
-		swarm := bittorrent.NewSwarm(net, cfg, src.Stream("swarm"))
+		swarm := bittorrent.NewSwarm(transport.Over(net), cfg, src.Stream("swarm"))
 		for i, h := range net.Hosts() {
 			if i == 0 {
 				swarm.AddSeed(h)

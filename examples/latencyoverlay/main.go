@@ -13,6 +13,7 @@ import (
 	"unap2p/internal/overlay/kademlia"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 )
 
 func main() {
@@ -37,7 +38,7 @@ func main() {
 	for _, pns := range []bool{false, true} {
 		cfg := kademlia.DefaultConfig()
 		cfg.PNS = pns
-		d := kademlia.New(net, cfg, sim.NewSource(11).Fork(fmt.Sprint("dht-", pns)).Stream("dht"))
+		d := kademlia.New(transport.Over(net), cfg, sim.NewSource(11).Fork(fmt.Sprint("dht-", pns)).Stream("dht"))
 		for _, h := range hosts {
 			d.AddNode(h)
 		}

@@ -13,6 +13,7 @@ import (
 	"unap2p/internal/resources"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 )
 
 func main() {
@@ -28,7 +29,7 @@ func main() {
 
 		cfg := streaming.DefaultConfig()
 		cfg.Aware = aware
-		mesh := streaming.NewMesh(net, table, net.Hosts()[0], cfg, src.Stream("mesh"))
+		mesh := streaming.NewMesh(transport.Over(net), table, net.Hosts()[0], cfg, src.Stream("mesh"))
 		for _, h := range net.Hosts()[1:] {
 			mesh.AddViewer(h)
 		}

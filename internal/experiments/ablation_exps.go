@@ -12,6 +12,7 @@ import (
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -172,7 +173,7 @@ func runAblExternal(cfg RunConfig) Result {
 		gcfg := gnutella.DefaultConfig()
 		gcfg.BiasJoin = true
 		gcfg.ExternalPerNode = ext
-		ov := gnutella.New(net, k, gcfg, src.Stream("overlay"))
+		ov := gnutella.New(transport.New(net, k), gcfg, src.Stream("overlay"))
 		ov.Oracle = oracle.New(net)
 		for _, h := range net.Hosts() {
 			ov.AddNode(h, true)

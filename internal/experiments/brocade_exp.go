@@ -6,6 +6,7 @@ import (
 	"unap2p/internal/resources"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -31,7 +32,7 @@ func runBrocade(cfg RunConfig) Result {
 
 	// Flat overlay: a Kademlia DHT; delivering to a node = iterative
 	// lookup of its ID, every RPC potentially wide-area.
-	d := kademlia.New(net, kademlia.DefaultConfig(), src.Stream("dht"))
+	d := kademlia.New(transport.Over(net), kademlia.DefaultConfig(), src.Stream("dht"))
 	nodeOf := map[underlay.HostID]*kademlia.Node{}
 	for _, h := range hosts {
 		nodeOf[h.ID] = d.AddNode(h)
@@ -39,7 +40,7 @@ func runBrocade(cfg RunConfig) Result {
 	d.Bootstrap(4)
 
 	// Landmark overlay over the same population.
-	b := brocade.Build(net, table, hosts)
+	b := brocade.Build(transport.Over(net), table, hosts)
 
 	// The same cross-domain message workload through both.
 	probe := src.Stream("probe")

@@ -9,6 +9,7 @@ import (
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 	"unap2p/internal/workload"
 )
@@ -59,7 +60,7 @@ func buildGnutella(cfg RunConfig, variant string, hostcache int, biasJoin, biasS
 	gcfg.QueryTTL = 3
 	gcfg.BiasJoin = biasJoin
 	gcfg.BiasSource = biasSource
-	ov := gnutella.New(net, k, gcfg, src.Stream("overlay"))
+	ov := gnutella.New(transport.New(net, k), gcfg, src.Stream("overlay"))
 	if biasJoin || biasSource {
 		ov.Oracle = oracle.New(net)
 	}

@@ -6,6 +6,7 @@ import (
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 )
 
 func init() {
@@ -32,7 +33,7 @@ func runTopologyMatching(cfg RunConfig) Result {
 		gcfg := gnutella.DefaultConfig()
 		gcfg.HostcacheSize = 300
 		gcfg.BiasJoin = bias
-		ov := gnutella.New(net, k, gcfg, src.Stream("overlay"))
+		ov := gnutella.New(transport.New(net, k), gcfg, src.Stream("overlay"))
 		if bias {
 			ov.Oracle = oracle.New(net)
 		}

@@ -9,6 +9,7 @@ import (
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 	"unap2p/internal/workload"
 )
@@ -193,7 +194,7 @@ func runAblPongCache(cfg RunConfig) Result {
 		gcfg.PongCache = cached
 		gcfg.PongCacheSize = 10
 		gcfg.HostcacheSize = 1000
-		ov := gnutella.New(net, k, gcfg, src.Stream("overlay"))
+		ov := gnutella.New(transport.New(net, k), gcfg, src.Stream("overlay"))
 		for _, h := range net.Hosts() {
 			ov.AddNode(h, true)
 		}

@@ -8,6 +8,7 @@ import (
 	"unap2p/internal/resources"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 )
 
 func init() {
@@ -35,7 +36,7 @@ func runStreaming(cfg RunConfig) Result {
 		table := resources.GenerateAll(net, src.Stream("res"))
 		scfg := streaming.DefaultConfig()
 		scfg.Aware = aware
-		m := streaming.NewMesh(net, table, net.Hosts()[0], scfg, src.Stream("mesh"))
+		m := streaming.NewMesh(transport.Over(net), table, net.Hosts()[0], scfg, src.Stream("mesh"))
 		for _, h := range net.Hosts()[1:] {
 			m.AddViewer(h)
 		}
@@ -79,7 +80,7 @@ func runChordPNS(cfg RunConfig) Result {
 		topology.PlaceHosts(net, cfg.scaled(12), false, 1, 6, src.Stream("place"))
 		ccfg := chord.DefaultConfig()
 		ccfg.PNS = pns
-		ring := chord.New(net, ccfg, src.Stream("ring"))
+		ring := chord.New(transport.Over(net), ccfg, src.Stream("ring"))
 		for _, h := range net.Hosts() {
 			ring.AddNode(h)
 		}

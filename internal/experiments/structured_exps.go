@@ -13,6 +13,7 @@ import (
 	"unap2p/internal/sim"
 	"unap2p/internal/skyeye"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 	"unap2p/internal/workload"
 )
@@ -38,7 +39,7 @@ func runGSHLeopard(cfg RunConfig) Result {
 	src := sim.NewSource(cfg.Seed).Fork("gsh")
 	net := topology.Star(8, topology.DefaultConfig())
 	hosts := topology.PlaceHosts(net, cfg.scaled(35), false, 1, 5, src.Stream("place"))
-	o := gsh.New(net, gsh.DefaultConfig())
+	o := gsh.New(transport.Over(net), gsh.DefaultConfig())
 	for _, h := range hosts {
 		o.Join(h)
 	}
@@ -146,7 +147,7 @@ func runSuperPeer(cfg RunConfig) Result {
 
 		k := sim.NewKernel()
 		gcfg := gnutella.DefaultConfig()
-		ov := gnutella.New(net, k, gcfg, src.Stream("overlay"))
+		ov := gnutella.New(transport.New(net, k), gcfg, src.Stream("overlay"))
 		ov.SettleTime = 2 * sim.Second
 		for _, h := range hosts {
 			ov.AddNode(h, ultra[h.ID])
@@ -254,7 +255,7 @@ func runAblPNSMetric(cfg RunConfig) Result {
 		kcfg.K = 4
 		kcfg.PNS = pns
 		kcfg.Proximity = prox
-		d := kademlia.New(net, kcfg, sim.NewSource(cfg.Seed).Fork("dht-"+name).Stream("dht"))
+		d := kademlia.New(transport.Over(net), kcfg, sim.NewSource(cfg.Seed).Fork("dht-"+name).Stream("dht"))
 		for _, h := range hosts {
 			d.AddNode(h)
 		}

@@ -11,6 +11,7 @@ import (
 	"unap2p/internal/sim"
 	"unap2p/internal/skyeye"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 )
 
 func init() {
@@ -45,7 +46,7 @@ func runBNSSwarm(cfg RunConfig) Result {
 		scfg := bittorrent.DefaultConfig()
 		scfg.Pieces = cfg.scaled(48)
 		scfg.Biased = biased
-		s := bittorrent.NewSwarm(net, scfg, src.Stream("swarm"))
+		s := bittorrent.NewSwarm(transport.Over(net), scfg, src.Stream("swarm"))
 		for i, h := range net.Hosts() {
 			if i%40 == 0 {
 				s.AddSeed(h)
@@ -94,7 +95,7 @@ func runPNSKademlia(cfg RunConfig) Result {
 		topology.PlaceHosts(net, cfg.scaled(12), false, 1, 6, src.Stream("place"))
 		kcfg := kademlia.DefaultConfig()
 		kcfg.PNS = pns
-		d := kademlia.New(net, kcfg, src.Stream("dht"))
+		d := kademlia.New(transport.Over(net), kcfg, src.Stream("dht"))
 		for _, h := range net.Hosts() {
 			d.AddNode(h)
 		}
@@ -139,7 +140,7 @@ func runGeoSearch(cfg RunConfig) Result {
 	src := sim.NewSource(cfg.Seed).Fork("geosearch")
 	net := topology.Star(8, topology.DefaultConfig())
 	topology.PlaceHosts(net, cfg.scaled(40), false, 1, 5, src.Stream("place"))
-	tr := geotree.New(net, geotree.DefaultConfig())
+	tr := geotree.New(transport.Over(net), geotree.DefaultConfig())
 	for _, h := range net.Hosts() {
 		tr.Insert(h)
 	}

@@ -7,6 +7,7 @@ import (
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 	"unap2p/internal/workload"
 )
@@ -77,7 +78,7 @@ func runTestlabOnce(kind string, biased bool, uniform bool, seed int64) testlabO
 	gcfg.QueryTTL = 5 // small network: floods cover it, as in the testlab
 	gcfg.BiasJoin = biased
 	gcfg.BiasSource = biased
-	ov := gnutella.New(net, k, gcfg, src.Stream("overlay"))
+	ov := gnutella.New(transport.New(net, k), gcfg, src.Stream("overlay"))
 	if biased {
 		ov.Oracle = oracle.New(net)
 	}

@@ -20,6 +20,7 @@ import (
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 	"unap2p/internal/workload"
 )
@@ -41,7 +42,7 @@ func TestGnutellaUnderChurn(t *testing.T) {
 	net, hosts, src := buildWorld(1, 10)
 	k := sim.NewKernel()
 	cfg := gnutella.DefaultConfig()
-	ov := gnutella.New(net, k, cfg, src.Stream("overlay"))
+	ov := gnutella.New(transport.New(net, k), cfg, src.Stream("overlay"))
 	// The churn driver keeps the kernel's queue non-empty forever, so
 	// searches must settle on a time bound rather than drain.
 	ov.SettleTime = 2 * sim.Second
@@ -105,7 +106,7 @@ func TestGnutellaUnderChurn(t *testing.T) {
 func TestChurnRejoinRestoresDegree(t *testing.T) {
 	net, hosts, src := buildWorld(2, 8)
 	k := sim.NewKernel()
-	ov := gnutella.New(net, k, gnutella.DefaultConfig(), src.Stream("overlay"))
+	ov := gnutella.New(transport.New(net, k), gnutella.DefaultConfig(), src.Stream("overlay"))
 	for _, h := range hosts {
 		ov.AddNode(h, true)
 	}
@@ -129,7 +130,7 @@ func TestOracleOutageMidRun(t *testing.T) {
 	k := sim.NewKernel()
 	cfg := gnutella.DefaultConfig()
 	cfg.BiasJoin = true
-	ov := gnutella.New(net, k, cfg, src.Stream("overlay"))
+	ov := gnutella.New(transport.New(net, k), cfg, src.Stream("overlay"))
 	orc := oracle.New(net)
 	ov.Oracle = orc
 	for _, h := range hosts {
@@ -164,7 +165,7 @@ func TestBillingFollowsBias(t *testing.T) {
 		cfg := gnutella.DefaultConfig()
 		cfg.BiasJoin = bias
 		cfg.BiasSource = bias
-		ov := gnutella.New(net, k, cfg, src.Stream("overlay"))
+		ov := gnutella.New(transport.New(net, k), cfg, src.Stream("overlay"))
 		if bias {
 			ov.Oracle = oracle.New(net)
 		}
@@ -209,7 +210,7 @@ func TestEngineDrivesSwarmTracker(t *testing.T) {
 
 	cfg := bittorrent.DefaultConfig()
 	cfg.Pieces = 24
-	s := bittorrent.NewSwarm(net, cfg, src.Stream("swarm"))
+	s := bittorrent.NewSwarm(transport.Over(net), cfg, src.Stream("swarm"))
 	for i, h := range hosts {
 		if i == 0 {
 			s.AddSeed(h)
@@ -351,7 +352,7 @@ func TestMobilityRefreshesOverlay(t *testing.T) {
 	k := sim.NewKernel()
 	cfg := gnutella.DefaultConfig()
 	cfg.BiasJoin = true
-	ov := gnutella.New(net, k, cfg, src.Stream("overlay"))
+	ov := gnutella.New(transport.New(net, k), cfg, src.Stream("overlay"))
 	ov.Oracle = oracle.New(net)
 	for _, h := range hosts {
 		ov.AddNode(h, true)

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram for high-volume observations such
+// as per-message latencies. Unlike Dist it does not retain samples, so
+// observing millions of values costs O(buckets) memory; the price is that
+// quantiles are interpolated within bucket bounds rather than exact.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; values > bounds[len-1] land in the overflow bucket
+	counts []uint64  // len(bounds)+1, last is overflow
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram returns a histogram over the given ascending bucket upper
+// bounds (an overflow bucket is added implicitly).
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// NewLatencyHistogram returns a histogram with exponential bounds suited to
+// simulated latencies in milliseconds: 1, 2, 4, … 16384 ms.
+func NewLatencyHistogram() *Histogram {
+	bounds := make([]float64, 15)
+	for i := range bounds {
+		bounds[i] = float64(uint64(1) << uint(i))
+	}
+	return NewHistogram(bounds)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucket(v)]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// bucket returns the index of the bucket containing v (binary search).
+func (h *Histogram) bucket(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// N reports the number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Sum reports the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean reports the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile approximates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
+// holding the target rank and interpolating linearly inside it.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := q * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lo := h.min
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.max
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if lo > hi {
+				lo = hi
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return h.Max()
+}
+
+// Counts returns a copy of the bucket counts (last entry is overflow).
+func (h *Histogram) Counts() []uint64 { return append([]uint64(nil), h.counts...) }
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.3f p50=%.3f p95=%.3f max=%.3f",
+		h.N(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max())
+	return b.String()
+}

@@ -5,6 +5,7 @@ import (
 
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 )
 
 // BenchmarkSwarmRound measures one scheduling round of an 84-peer swarm.
@@ -16,7 +17,7 @@ func BenchmarkSwarmRound(b *testing.B) {
 	})
 	topology.PlaceHosts(net, 14, false, 1, 5, src.Stream("place"))
 	cfg := DefaultConfig()
-	s := NewSwarm(net, cfg, src.Stream("swarm"))
+	s := NewSwarm(transport.Over(net), cfg, src.Stream("swarm"))
 	for i, h := range net.Hosts() {
 		if i == 0 {
 			s.AddSeed(h)
@@ -42,7 +43,7 @@ func BenchmarkFullSwarm(b *testing.B) {
 		topology.PlaceHosts(net, 8, false, 1, 5, src.Stream("place"))
 		cfg := DefaultConfig()
 		cfg.Pieces = 16
-		s := NewSwarm(net, cfg, src.Stream("swarm"))
+		s := NewSwarm(transport.Over(net), cfg, src.Stream("swarm"))
 		for j, h := range net.Hosts() {
 			if j == 0 {
 				s.AddSeed(h)

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"unap2p/internal/metrics"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -67,9 +68,12 @@ func (p *Peer) Has(i int) bool { return p.have[i] }
 
 // Swarm is a torrent instance.
 type Swarm struct {
+	// T carries piece transfers; U serves topology queries.
+	T   transport.Messenger
 	U   *underlay.Network
 	Cfg Config
-	// PieceTraffic accounts piece bytes by AS pair.
+	// PieceTraffic accounts piece bytes by AS pair, recorded by the
+	// transport under the "piece" message type.
 	PieceTraffic *metrics.TrafficMatrix
 	// Rounds counts scheduling rounds executed.
 	Rounds int
@@ -78,12 +82,12 @@ type Swarm struct {
 	r     *rand.Rand
 }
 
-// NewSwarm creates an empty swarm.
-func NewSwarm(u *underlay.Network, cfg Config, r *rand.Rand) *Swarm {
+// NewSwarm creates an empty swarm sending through tr.
+func NewSwarm(tr transport.Messenger, cfg Config, r *rand.Rand) *Swarm {
 	if cfg.Pieces < 1 || cfg.PeerSet < 1 || cfg.UploadSlots < 1 {
 		panic("bittorrent: invalid config")
 	}
-	return &Swarm{U: u, Cfg: cfg, PieceTraffic: metrics.NewTrafficMatrix(), r: r}
+	return &Swarm{T: tr, U: tr.Underlay(), Cfg: cfg, PieceTraffic: tr.MatrixFor("piece"), r: r}
 }
 
 // AddSeed joins a host holding the full file.
@@ -226,10 +230,11 @@ func (s *Swarm) Round() int {
 		if t.to.have[t.piece] {
 			continue // granted by someone else in the same round
 		}
+		if sr := s.T.Send(t.from.Host, t.to.Host, s.Cfg.PieceSize, "piece"); !sr.OK {
+			continue // piece lost in transit: re-requested a later round
+		}
 		t.to.have[t.piece] = true
 		t.to.remaining--
-		s.U.Send(t.from.Host, t.to.Host, s.Cfg.PieceSize)
-		s.PieceTraffic.Add(t.from.Host.AS.ID, t.to.Host.AS.ID, s.Cfg.PieceSize)
 		if t.to.remaining == 0 {
 			t.to.CompletedRound = s.Rounds
 		}

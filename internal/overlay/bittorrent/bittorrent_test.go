@@ -5,6 +5,7 @@ import (
 
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -20,7 +21,7 @@ func buildSwarm(t *testing.T, hostsPerAS int, cfg Config, seed int64) (*underlay
 	}
 	net := topology.TransitStub(tcfg)
 	topology.PlaceHosts(net, hostsPerAS, false, 1, 5, src.Stream("place"))
-	s := NewSwarm(net, cfg, src.Stream("swarm"))
+	s := NewSwarm(transport.Over(net), cfg, src.Stream("swarm"))
 	for i, h := range net.Hosts() {
 		if i == 0 {
 			s.AddSeed(h)

@@ -14,15 +14,18 @@ import (
 	"unap2p/internal/metrics"
 	"unap2p/internal/resources"
 	"unap2p/internal/sim"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
 // Overlay is a Brocade layer over a peer population.
 type Overlay struct {
+	// T carries routed messages; U serves topology queries.
+	T transport.Messenger
 	U *underlay.Network
 	// MsgBytes is the size of one routed message.
 	MsgBytes uint64
-	// Msgs counts "hop" messages.
+	// Msgs counts "hop" messages — a view of the transport's counters.
 	Msgs *metrics.CounterSet
 
 	// supernodes maps AS id → elected supernode host.
@@ -34,14 +37,15 @@ type Overlay struct {
 // highest capacity score (Brocade chooses "supernodes with significant
 // processing power and network bandwidth" near the wide-area access
 // point). Ties break on host id for determinism.
-func Build(net *underlay.Network, table *resources.Table, members []*underlay.Host) *Overlay {
+func Build(tr transport.Messenger, table *resources.Table, members []*underlay.Host) *Overlay {
 	if len(members) == 0 {
 		panic("brocade: no members")
 	}
 	o := &Overlay{
-		U:          net,
+		T:          tr,
+		U:          tr.Underlay(),
 		MsgBytes:   120,
-		Msgs:       metrics.NewCounterSet(),
+		Msgs:       tr.Counters(),
 		supernodes: make(map[int]underlay.HostID),
 		members:    make(map[underlay.HostID]bool),
 	}
@@ -95,17 +99,22 @@ func (o *Overlay) Route(src, dst underlay.HostID) RouteStats {
 	if src == dst {
 		return st
 	}
-	leg := func(a, b *underlay.Host) {
+	// leg sends one overlay hop; it reports false when the message was
+	// lost, which aborts the remaining legs of the route.
+	leg := func(a, b *underlay.Host) bool {
 		if a.ID == b.ID {
-			return
+			return true
 		}
-		o.Msgs.Get("hop").Inc()
-		o.U.Send(a, b, o.MsgBytes)
+		sr := o.T.Send(a, b, o.MsgBytes, "hop")
 		st.Hops++
-		st.Latency += o.U.Latency(a, b)
+		if !sr.OK {
+			return false
+		}
+		st.Latency += sr.Latency
 		if a.AS.ID != b.AS.ID {
 			st.InterASCrossings++
 		}
+		return true
 	}
 	if from.AS.ID == to.AS.ID {
 		leg(from, to)
@@ -113,8 +122,8 @@ func (o *Overlay) Route(src, dst underlay.HostID) RouteStats {
 	}
 	sn1 := o.U.Host(o.supernodes[from.AS.ID])
 	sn2 := o.U.Host(o.supernodes[to.AS.ID])
-	leg(from, sn1)
-	leg(sn1, sn2)
-	leg(sn2, to)
+	if leg(from, sn1) && leg(sn1, sn2) {
+		leg(sn2, to)
+	}
 	return st
 }

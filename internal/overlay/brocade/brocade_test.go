@@ -6,6 +6,7 @@ import (
 	"unap2p/internal/resources"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -18,7 +19,7 @@ func buildBrocade(t testing.TB, seed int64) (*underlay.Network, *resources.Table
 	})
 	topology.PlaceHosts(net, 10, false, 1, 5, src.Stream("place"))
 	table := resources.GenerateAll(net, src.Stream("res"))
-	o := Build(net, table, net.Hosts())
+	o := Build(transport.Over(net), table, net.Hosts())
 	return net, table, o
 }
 
@@ -127,7 +128,7 @@ func TestBuildPanicsOnEmpty(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	Build(net, table, nil)
+	Build(transport.Over(net), table, nil)
 }
 
 // BenchmarkRoute measures one landmark-routed delivery.

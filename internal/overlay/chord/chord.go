@@ -18,6 +18,7 @@ import (
 
 	"unap2p/internal/metrics"
 	"unap2p/internal/sim"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -52,21 +53,24 @@ type Node struct {
 
 // Ring is a Chord instance.
 type Ring struct {
+	// T carries routing messages; U serves proximity queries (finger
+	// selection RTT estimates) without charging traffic.
+	T   transport.Messenger
 	U   *underlay.Network
 	Cfg Config
-	// Msgs counts "route" messages.
+	// Msgs counts "route" messages — a view of the transport's counters.
 	Msgs *metrics.CounterSet
 
 	nodes []*Node // sorted by ID
 	r     *rand.Rand
 }
 
-// New creates an empty ring.
-func New(u *underlay.Network, cfg Config, r *rand.Rand) *Ring {
+// New creates an empty ring sending through tr.
+func New(tr transport.Messenger, cfg Config, r *rand.Rand) *Ring {
 	if cfg.SuccessorList < 1 {
 		panic("chord: SuccessorList must be ≥ 1")
 	}
-	return &Ring{U: u, Cfg: cfg, Msgs: metrics.NewCounterSet(), r: r}
+	return &Ring{T: tr, U: tr.Underlay(), Cfg: cfg, Msgs: tr.Counters(), r: r}
 }
 
 // AddNode places a host on the ring with a random collision-free ID.
@@ -206,9 +210,11 @@ func (c *Ring) Lookup(from underlay.HostID, key ID) LookupResult {
 		}
 		res.Hops++
 		res.Msgs++
-		c.Msgs.Get("route").Inc()
-		c.U.Send(cur.Host, next.Host, c.Cfg.RPCBytes)
-		res.Latency += c.U.Latency(cur.Host, next.Host)
+		sr := c.T.Send(cur.Host, next.Host, c.Cfg.RPCBytes, "route")
+		if !sr.OK {
+			break // route message lost: the lookup dies at this hop
+		}
+		res.Latency += sr.Latency
 		cur = next
 		if res.Hops > len(c.nodes) {
 			break // routing failure guard; cannot happen on a built ring

@@ -6,6 +6,7 @@ import (
 
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -19,7 +20,7 @@ func buildRing(t testing.TB, nHosts int, pns bool, seed int64) (*underlay.Networ
 	topology.PlaceHosts(net, (nHosts+7)/8, false, 1, 5, src.Stream("place"))
 	cfg := DefaultConfig()
 	cfg.PNS = pns
-	ring := New(net, cfg, src.Stream("ring"))
+	ring := New(transport.Over(net), cfg, src.Stream("ring"))
 	for i, h := range net.Hosts() {
 		if i >= nHosts {
 			break
@@ -174,7 +175,7 @@ func TestValidation(t *testing.T) {
 				t.Fatal("expected panic on empty Build")
 			}
 		}()
-		New(net, DefaultConfig(), sim.NewSource(1).Stream("x")).Build()
+		New(transport.Over(net), DefaultConfig(), sim.NewSource(1).Stream("x")).Build()
 	}()
 }
 

@@ -6,6 +6,7 @@ import (
 	"unap2p/internal/geo"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 )
 
 func benchTree(b *testing.B) (*Tree, geo.Coord) {
@@ -13,7 +14,7 @@ func benchTree(b *testing.B) (*Tree, geo.Coord) {
 	src := sim.NewSource(1)
 	net := topology.Star(8, topology.DefaultConfig())
 	topology.PlaceHosts(net, 40, false, 1, 5, src.Stream("place"))
-	tr := New(net, DefaultConfig())
+	tr := New(transport.Over(net), DefaultConfig())
 	for _, h := range net.Hosts() {
 		tr.Insert(h)
 	}

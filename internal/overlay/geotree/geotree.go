@@ -13,6 +13,7 @@ import (
 	"unap2p/internal/geo"
 	"unap2p/internal/metrics"
 	"unap2p/internal/sim"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -43,24 +44,28 @@ type zone struct {
 
 // Tree is the overlay instance.
 type Tree struct {
+	// T carries control messages; U serves topology queries.
+	T   transport.Messenger
 	U   *underlay.Network
 	Cfg Config
-	// Msgs counts control messages: "register", "search", "result".
+	// Msgs counts control messages ("register", "search", "result",
+	// "geocast") — a view of the transport's counters.
 	Msgs *metrics.CounterSet
 
 	root  *zone
 	where map[underlay.HostID]*zone
 }
 
-// New creates a tree covering the whole globe.
-func New(u *underlay.Network, cfg Config) *Tree {
+// New creates a tree covering the whole globe, sending through tr.
+func New(tr transport.Messenger, cfg Config) *Tree {
 	if cfg.SplitThreshold < 2 {
 		panic("geotree: SplitThreshold must be ≥ 2")
 	}
 	return &Tree{
-		U:    u,
+		T:    tr,
+		U:    tr.Underlay(),
 		Cfg:  cfg,
-		Msgs: metrics.NewCounterSet(),
+		Msgs: tr.Counters(),
 		root: &zone{
 			box: geo.Box{MinLat: -90, MaxLat: 90, MinLon: -180, MaxLon: 180},
 		},
@@ -83,8 +88,8 @@ func (t *Tree) Insert(h *underlay.Host) {
 	for {
 		// One register-hop message per level (client → zone supervisor).
 		if z.hasSuper && z.supervisor != h.ID {
-			t.Msgs.Get("register").Inc()
-			t.U.Send(h, t.U.Host(z.supervisor), t.Cfg.MsgBytes)
+			// Best effort: a lost register-hop is simply not re-sent.
+			t.T.Send(h, t.U.Host(z.supervisor), t.Cfg.MsgBytes, "register")
 		}
 		if z.children == nil {
 			break
@@ -192,10 +197,12 @@ func (t *Tree) SearchBox(from *underlay.Host, box geo.Box) ([]underlay.HostID, S
 		}
 		hop := chain
 		if z.hasSuper {
-			t.Msgs.Get("search").Inc()
 			st.Msgs++
-			t.U.Send(from, t.U.Host(z.supervisor), t.Cfg.MsgBytes)
-			hop = chain + t.U.Latency(from, t.U.Host(z.supervisor))
+			sr := t.T.Send(from, t.U.Host(z.supervisor), t.Cfg.MsgBytes, "search")
+			if !sr.OK {
+				return // lost search prunes this subtree from the query
+			}
+			hop = chain + sr.Latency
 			if hop > st.Latency {
 				st.Latency = hop
 			}
@@ -204,10 +211,10 @@ func (t *Tree) SearchBox(from *underlay.Host, box geo.Box) ([]underlay.HostID, S
 			for _, id := range z.members {
 				h := t.U.Host(id)
 				if h.Up && box.Contains(geo.Coord{Lat: h.Lat, Lon: h.Lon}) {
-					out = append(out, id)
-					t.Msgs.Get("result").Inc()
 					st.Msgs++
-					t.U.Send(h, from, t.Cfg.MsgBytes)
+					if rr := t.T.Send(h, from, t.Cfg.MsgBytes, "result"); rr.OK {
+						out = append(out, id)
+					}
 				}
 			}
 			return
@@ -283,10 +290,12 @@ func (t *Tree) Geocast(from *underlay.Host, box geo.Box, payloadBytes uint64) (i
 		}
 		hop := chain
 		if z.hasSuper && z.supervisor != from.ID {
-			t.Msgs.Get("geocast").Inc()
 			st.Msgs++
-			t.U.Send(from, t.U.Host(z.supervisor), payloadBytes)
-			hop = chain + t.U.Latency(from, t.U.Host(z.supervisor))
+			sr := t.T.Send(from, t.U.Host(z.supervisor), payloadBytes, "geocast")
+			if !sr.OK {
+				return // payload lost: this subtree goes unreached
+			}
+			hop = chain + sr.Latency
 		}
 		if z.children == nil {
 			sup := t.U.Host(z.supervisor)
@@ -295,14 +304,17 @@ func (t *Tree) Geocast(from *underlay.Host, box geo.Box, payloadBytes uint64) (i
 				if !h.Up || !box.Contains(geo.Coord{Lat: h.Lat, Lon: h.Lon}) {
 					continue
 				}
-				reached++
 				if id == z.supervisor || id == from.ID {
-					continue // supervisor already holds the payload
+					reached++ // already holds the payload
+					continue
 				}
-				t.Msgs.Get("geocast").Inc()
 				st.Msgs++
-				t.U.Send(sup, h, payloadBytes)
-				if d := hop + t.U.Latency(sup, h); d > st.Latency {
+				sr := t.T.Send(sup, h, payloadBytes, "geocast")
+				if !sr.OK {
+					continue // member missed the fan-out
+				}
+				reached++
+				if d := hop + sr.Latency; d > st.Latency {
 					st.Latency = d
 				}
 			}

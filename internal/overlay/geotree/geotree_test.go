@@ -6,6 +6,7 @@ import (
 	"unap2p/internal/geo"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -14,7 +15,7 @@ func buildTree(t *testing.T, hostsPerAS int) (*underlay.Network, *Tree) {
 	src := sim.NewSource(1)
 	net := topology.Star(6, topology.DefaultConfig())
 	topology.PlaceHosts(net, hostsPerAS, false, 1, 3, src.Stream("place"))
-	tr := New(net, DefaultConfig())
+	tr := New(transport.Over(net), DefaultConfig())
 	for _, h := range net.Hosts() {
 		tr.Insert(h)
 	}
@@ -139,7 +140,7 @@ func TestNearestPeerEmptyTree(t *testing.T) {
 	src := sim.NewSource(2)
 	net := topology.Star(3, topology.DefaultConfig())
 	topology.PlaceHosts(net, 2, false, 1, 2, src.Stream("p"))
-	tr := New(net, DefaultConfig())
+	tr := New(transport.Over(net), DefaultConfig())
 	_, _, ok := tr.NearestPeer(net.Hosts()[0], geo.Coord{})
 	if ok {
 		t.Fatal("found a peer in an empty tree")

@@ -5,6 +5,7 @@ import (
 
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/workload"
 )
 
@@ -19,7 +20,7 @@ func benchOverlay(b *testing.B, biased bool) *Overlay {
 	k := sim.NewKernel()
 	cfg := DefaultConfig()
 	cfg.BiasJoin = biased
-	o := New(net, k, cfg, src.Stream("overlay"))
+	o := New(transport.New(net, k), cfg, src.Stream("overlay"))
 	for _, h := range hosts {
 		o.AddNode(h, true)
 	}

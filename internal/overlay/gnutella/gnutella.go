@@ -18,6 +18,7 @@ import (
 	"unap2p/internal/metrics"
 	"unap2p/internal/oracle"
 	"unap2p/internal/sim"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 	"unap2p/internal/workload"
 )
@@ -113,8 +114,12 @@ func (n *Node) Hostcache() []underlay.HostID {
 // LeafCount returns how many leaves are attached (0 for leaf nodes).
 func (n *Node) LeafCount() int { return len(n.leaves) }
 
-// Overlay is a Gnutella network instance bound to an underlay and kernel.
+// Overlay is a Gnutella network instance bound to an underlay and kernel
+// through a transport.
 type Overlay struct {
+	// T carries every protocol message; U and K are views of the
+	// transport's underlay (topology queries) and kernel (scheduling).
+	T   transport.Messenger
 	U   *underlay.Network
 	K   *sim.Kernel
 	Cfg Config
@@ -144,15 +149,17 @@ type Overlay struct {
 	pendingHits map[uint64]*SearchResult
 }
 
-// New creates an empty overlay.
-func New(u *underlay.Network, k *sim.Kernel, cfg Config, r *rand.Rand) *Overlay {
+// New creates an empty overlay sending through tr (which must carry a
+// kernel for delivery scheduling).
+func New(tr transport.Messenger, cfg Config, r *rand.Rand) *Overlay {
 	return &Overlay{
-		U:           u,
-		K:           k,
+		T:           tr,
+		U:           tr.Underlay(),
+		K:           tr.Kernel(),
 		Cfg:         cfg,
 		Catalog:     workload.NewCatalog(0),
-		Msgs:        metrics.NewCounterSet(),
-		FileTraffic: metrics.NewTrafficMatrix(),
+		Msgs:        tr.Counters(),
+		FileTraffic: tr.MatrixFor("file"),
 		nodes:       make(map[underlay.HostID]*Node),
 		r:           r,
 		pendingHits: make(map[uint64]*SearchResult),
@@ -364,11 +371,11 @@ func (o *Overlay) nextGUID() uint64 {
 	return o.guid
 }
 
-// send accounts one protocol message on the underlay and returns its
-// delivery latency.
-func (o *Overlay) send(kind string, from, to *underlay.Host, bytes uint64) sim.Duration {
-	o.Msgs.Get(kind).Inc()
-	return o.U.Send(from, to, bytes)
+// send routes one protocol message through the transport, which counts it
+// under kind and charges the underlay; the result carries the delivery
+// latency and whether the message survived fault injection.
+func (o *Overlay) send(kind string, from, to *underlay.Host, bytes uint64) transport.Result {
+	return o.T.Send(from, to, bytes, kind)
 }
 
 // sortedIDs returns a set's members in ascending order. Protocol fan-out

@@ -7,6 +7,7 @@ import (
 	"unap2p/internal/oracle"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 	"unap2p/internal/workload"
 )
@@ -24,7 +25,7 @@ func build(t *testing.T, hostsPerAS int, cfg Config, seed int64) (*underlay.Netw
 	net := topology.TransitStub(tcfg)
 	topology.PlaceHosts(net, hostsPerAS, false, 1, 5, src.Stream("place"))
 	k := sim.NewKernel()
-	o := New(net, k, cfg, src.Stream("overlay"))
+	o := New(transport.New(net, k), cfg, src.Stream("overlay"))
 	for _, h := range net.Hosts() {
 		o.AddNode(h, true)
 	}
@@ -66,7 +67,7 @@ func TestBiasedJoinClustersOverlay(t *testing.T) {
 	netB := topology.TransitStub(tcfg)
 	topology.PlaceHosts(netB, 8, false, 1, 5, src.Stream("place"))
 	k := sim.NewKernel()
-	ovB := New(netB, k, cfgB, src.Stream("overlay"))
+	ovB := New(transport.New(netB, k), cfgB, src.Stream("overlay"))
 	ovB.Oracle = oracle.New(netB)
 	for _, h := range netB.Hosts() {
 		ovB.AddNode(h, true)
@@ -198,7 +199,7 @@ func TestLeafRoles(t *testing.T) {
 	k := sim.NewKernel()
 	cfg := DefaultConfig()
 	cfg.LeafParents = 1
-	o := New(net, k, cfg, src.Stream("ov"))
+	o := New(transport.New(net, k), cfg, src.Stream("ov"))
 	// First 6 hosts are ultrapeers, the rest leaves.
 	for i, h := range net.Hosts() {
 		o.AddNode(h, i < 6)

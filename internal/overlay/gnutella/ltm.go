@@ -52,7 +52,10 @@ func (o *Overlay) AdaptRound(cfg AdaptConfig) int {
 			if !peer.Host.Up {
 				continue
 			}
-			rtt := o.probe(n, peer)
+			rtt, ok := o.probe(n, peer)
+			if !ok {
+				continue // probe lost: this neighbor goes unmeasured this round
+			}
 			if rtt > worstRTT {
 				worst, worstRTT = nb, rtt
 			}
@@ -78,8 +81,8 @@ func (o *Overlay) AdaptRound(cfg AdaptConfig) int {
 			if c.Degree() >= o.Cfg.MaxUltraDegree {
 				continue
 			}
-			probed++
-			if rtt := o.probe(n, c); rtt < bestRTT {
+			probed++ // the probe budget is spent even if the probe is lost
+			if rtt, ok := o.probe(n, c); ok && rtt < bestRTT {
 				best, bestRTT = cand, rtt
 			}
 		}
@@ -100,12 +103,10 @@ func (o *Overlay) AdaptRound(cfg AdaptConfig) int {
 }
 
 // probe measures the RTT between two nodes with a real probe/response
-// pair on the underlay.
-func (o *Overlay) probe(a, b *Node) float64 {
-	o.Msgs.Get("probe").Add(2)
-	o.U.Send(a.Host, b.Host, probeBytes)
-	o.U.Send(b.Host, a.Host, probeBytes)
-	return float64(o.U.RTT(a.Host, b.Host))
+// pair through the transport; ok is false when either leg was lost.
+func (o *Overlay) probe(a, b *Node) (float64, bool) {
+	r := o.T.Probe(a.Host, b.Host, probeBytes)
+	return float64(r.Latency), r.OK
 }
 
 // MeanNeighborRTT reports the average RTT across live overlay links —

@@ -41,16 +41,21 @@ func (o *Overlay) cachedPing(n *Node) {
 			continue
 		}
 		nbID := nb
-		d := o.send("ping", n.Host, recv.Host, pingBytes)
-		o.K.Schedule(d, func() {
+		r := o.send("ping", n.Host, recv.Host, pingBytes)
+		if !r.OK {
+			continue // ping lost: this neighbor never answers
+		}
+		o.K.Schedule(r.Latency, func() {
 			sent := 0
 			reply := func(id underlay.HostID) {
 				if sent >= limit || id == n.Host.ID {
 					return
 				}
 				back := o.send("pong", recv.Host, n.Host, pongBytes)
-				sent++
-				o.K.Schedule(back, func() { o.learn(n, id) })
+				sent++ // the cache slot is spent even if the pong is lost
+				if back.OK {
+					o.K.Schedule(back.Latency, func() { o.learn(n, id) })
+				}
 			}
 			for _, id := range sortedIDs(recv.neighbors) {
 				if sent >= limit {
@@ -94,8 +99,11 @@ func (o *Overlay) forwardPing(guid uint64, from, to underlay.HostID, ttl int) {
 	if sender == nil || recv == nil || !recv.Host.Up {
 		return
 	}
-	d := o.send("ping", sender.Host, recv.Host, pingBytes)
-	o.K.Schedule(d, func() {
+	r := o.send("ping", sender.Host, recv.Host, pingBytes)
+	if !r.OK {
+		return // lost ping prunes this branch of the flood
+	}
+	o.K.Schedule(r.Latency, func() {
 		if _, dup := recv.seen[guid]; dup {
 			return
 		}
@@ -126,8 +134,11 @@ func (o *Overlay) routeBack(kind string, guid uint64, at underlay.HostID, bytes 
 	if next == nil || !next.Host.Up {
 		return
 	}
-	d := o.send(kind, n.Host, next.Host, bytes)
-	o.K.Schedule(d, func() { o.routeBack(kind, guid, prev, bytes) })
+	r := o.send(kind, n.Host, next.Host, bytes)
+	if !r.OK {
+		return // response lost mid-route: the origin never hears it
+	}
+	o.K.Schedule(r.Latency, func() { o.routeBack(kind, guid, prev, bytes) })
 }
 
 // SearchResult accumulates the hits of one query.
@@ -213,8 +224,11 @@ func (o *Overlay) sendHitBack(guid uint64, at, holder underlay.HostID) {
 	if next == nil || !next.Host.Up {
 		return
 	}
-	d := o.send("queryhit", n.Host, next.Host, queryHitBytes)
-	o.K.Schedule(d, func() { o.sendHitBack(guid, prev, holder) })
+	r := o.send("queryhit", n.Host, next.Host, queryHitBytes)
+	if !r.OK {
+		return // hit lost mid-route
+	}
+	o.K.Schedule(r.Latency, func() { o.sendHitBack(guid, prev, holder) })
 }
 
 func (o *Overlay) forwardQuery(guid uint64, item workload.ItemID, from, to underlay.HostID, ttl int) {
@@ -225,8 +239,11 @@ func (o *Overlay) forwardQuery(guid uint64, item workload.ItemID, from, to under
 	if sender == nil || recv == nil || !recv.Host.Up {
 		return
 	}
-	d := o.send("query", sender.Host, recv.Host, queryBytes)
-	o.K.Schedule(d, func() {
+	r := o.send("query", sender.Host, recv.Host, queryBytes)
+	if !r.OK {
+		return // lost query prunes this branch of the flood
+	}
+	o.K.Schedule(r.Latency, func() {
 		if _, dup := recv.seen[guid]; dup {
 			return
 		}
@@ -281,8 +298,9 @@ func (o *Overlay) Download(res *SearchResult) (ok, intraAS bool) {
 		src = hits[o.r.Intn(len(hits))]
 	}
 	source := o.U.Host(src)
-	o.U.Send(source, requester, o.Cfg.FileSize)
-	o.FileTraffic.Add(source.AS.ID, requester.AS.ID, o.Cfg.FileSize)
+	if r := o.T.Send(source, requester, o.Cfg.FileSize, "file"); !r.OK {
+		return false, false // transfer lost: no download recorded
+	}
 	o.Downloads++
 	intra := source.AS.ID == requester.AS.ID
 	if intra {

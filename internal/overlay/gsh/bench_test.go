@@ -6,6 +6,7 @@ import (
 
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 )
 
 func benchOverlay(b *testing.B) *Overlay {
@@ -13,7 +14,7 @@ func benchOverlay(b *testing.B) *Overlay {
 	src := sim.NewSource(1)
 	net := topology.Star(6, topology.DefaultConfig())
 	topology.PlaceHosts(net, 40, false, 1, 5, src.Stream("place"))
-	o := New(net, DefaultConfig())
+	o := New(transport.Over(net), DefaultConfig())
 	for _, h := range net.Hosts() {
 		o.Join(h)
 	}
@@ -26,7 +27,7 @@ func benchOverlay(b *testing.B) *Overlay {
 // BenchmarkScopedLookup measures a GSH lookup with zone widening.
 func BenchmarkScopedLookup(b *testing.B) {
 	o := benchOverlay(b)
-	hosts := o.U.Hosts()
+	hosts := o.T.Underlay().Hosts()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o.Lookup(hosts[i%len(hosts)], HashKey(fmt.Sprintf("item-%d", (i*7)%len(hosts))))
@@ -36,7 +37,7 @@ func BenchmarkScopedLookup(b *testing.B) {
 // BenchmarkPublish measures scoped registration across all levels.
 func BenchmarkPublish(b *testing.B) {
 	o := benchOverlay(b)
-	hosts := o.U.Hosts()
+	hosts := o.T.Underlay().Hosts()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o.Publish(hosts[i%len(hosts)], HashKey(fmt.Sprintf("bench-%d", i)))

@@ -17,6 +17,7 @@ import (
 	"unap2p/internal/geo"
 	"unap2p/internal/metrics"
 	"unap2p/internal/sim"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -84,9 +85,12 @@ type node struct {
 
 // Overlay is a GSH instance.
 type Overlay struct {
-	U   *underlay.Network
+	// T carries every registry/lookup message; GSH needs no other view of
+	// the underlay.
+	T   transport.Messenger
 	Cfg Config
-	// Msgs counts "register", "lookup", "response" messages.
+	// Msgs counts "register", "lookup", "response" messages (a view of
+	// the transport's per-type counters).
 	Msgs *metrics.CounterSet
 
 	nodes map[underlay.HostID]*node
@@ -95,15 +99,15 @@ type Overlay struct {
 	members []map[ZoneCode][]underlay.HostID
 }
 
-// New creates an empty overlay.
-func New(u *underlay.Network, cfg Config) *Overlay {
+// New creates an empty overlay sending through tr.
+func New(tr transport.Messenger, cfg Config) *Overlay {
 	if cfg.MaxLevel < 1 || cfg.MaxLevel > 16 {
 		panic("gsh: MaxLevel must be in [1,16]")
 	}
 	o := &Overlay{
-		U:       u,
+		T:       tr,
 		Cfg:     cfg,
-		Msgs:    metrics.NewCounterSet(),
+		Msgs:    tr.Counters(),
 		nodes:   make(map[underlay.HostID]*node),
 		members: make([]map[ZoneCode][]underlay.HostID, cfg.MaxLevel+1),
 	}
@@ -188,13 +192,15 @@ func (o *Overlay) Publish(holder *underlay.Host, k Key) PublishStats {
 			continue
 		}
 		rn := o.nodes[resp]
-		rn.load++
 		if resp != holder.ID {
-			o.Msgs.Get("register").Inc()
 			st.Msgs++
-			o.U.Send(holder, rn.host, o.Cfg.MsgBytes)
-			st.Latency += o.U.Latency(holder, rn.host)
+			res := o.T.Send(holder, rn.host, o.Cfg.MsgBytes, "register")
+			if !res.OK {
+				continue // registration lost at this level (fault injection)
+			}
+			st.Latency += res.Latency
 		}
+		rn.load++
 		// Deduplicate holders per key.
 		hs := rn.registry[l]
 		found := false
@@ -235,15 +241,16 @@ func (o *Overlay) Lookup(requester *underlay.Host, k Key) ([]underlay.HostID, Lo
 			continue
 		}
 		rn := o.nodes[resp]
-		rn.load++
 		if resp != requester.ID {
-			o.Msgs.Get("lookup").Inc()
-			o.Msgs.Get("response").Inc()
 			st.Msgs += 2
-			o.U.Send(requester, rn.host, o.Cfg.MsgBytes)
-			o.U.Send(rn.host, requester, o.Cfg.MsgBytes)
-			st.Latency += o.U.RTT(requester, rn.host)
+			res := o.T.RoundTrip(requester, rn.host,
+				o.Cfg.MsgBytes, o.Cfg.MsgBytes, "lookup", "response")
+			if !res.OK {
+				continue // query timed out at this level; widen scope
+			}
+			st.Latency += res.Latency
 		}
+		rn.load++
 		if holders := rn.registry[l][k]; len(holders) > 0 {
 			st.Level = l
 			out := append([]underlay.HostID(nil), holders...)
@@ -278,15 +285,16 @@ func (o *Overlay) GlobalLookup(requester *underlay.Host, k Key) ([]underlay.Host
 		return nil, st
 	}
 	rn := o.nodes[resp]
-	rn.load++
 	if resp != requester.ID {
-		o.Msgs.Get("lookup").Inc()
-		o.Msgs.Get("response").Inc()
 		st.Msgs = 2
-		o.U.Send(requester, rn.host, o.Cfg.MsgBytes)
-		o.U.Send(rn.host, requester, o.Cfg.MsgBytes)
-		st.Latency = o.U.RTT(requester, rn.host)
+		r := o.T.RoundTrip(requester, rn.host,
+			o.Cfg.MsgBytes, o.Cfg.MsgBytes, "lookup", "response")
+		if !r.OK {
+			return nil, st // the single rendezvous timed out
+		}
+		st.Latency = r.Latency
 	}
+	rn.load++
 	if holders := rn.registry[0][k]; len(holders) > 0 {
 		st.Level = 0
 		return append([]underlay.HostID(nil), holders...), st

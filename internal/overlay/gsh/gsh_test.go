@@ -7,6 +7,7 @@ import (
 	"unap2p/internal/geo"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -15,7 +16,7 @@ func buildGSH(t *testing.T) (*underlay.Network, *Overlay) {
 	src := sim.NewSource(1)
 	net := topology.Star(6, topology.DefaultConfig())
 	topology.PlaceHosts(net, 25, false, 1, 5, src.Stream("place"))
-	o := New(net, DefaultConfig())
+	o := New(transport.Over(net), DefaultConfig())
 	for _, h := range net.Hosts() {
 		o.Join(h)
 	}
@@ -179,7 +180,7 @@ func TestNewValidatesConfig(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(underlay.New(), Config{MaxLevel: 0})
+	New(transport.Over(underlay.New()), Config{MaxLevel: 0})
 }
 
 func TestRendezvousStability(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 )
 
 func benchDHT(b *testing.B, pns bool) *DHT {
@@ -17,7 +18,7 @@ func benchDHT(b *testing.B, pns bool) *DHT {
 	topology.PlaceHosts(net, 15, false, 1, 5, src.Stream("place"))
 	cfg := DefaultConfig()
 	cfg.PNS = pns
-	d := New(net, cfg, src.Stream("dht"))
+	d := New(transport.Over(net), cfg, src.Stream("dht"))
 	for _, h := range net.Hosts() {
 		d.AddNode(h)
 	}

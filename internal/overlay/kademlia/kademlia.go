@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"unap2p/internal/metrics"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -77,13 +78,18 @@ type Node struct {
 	dht     *DHT
 }
 
-// DHT is a Kademlia instance bound to an underlay.
+// DHT is a Kademlia instance bound to an underlay via a transport.
 type DHT struct {
+	// T carries every RPC; U serves topology queries (proximity
+	// estimates) without charging traffic.
+	T   transport.Messenger
 	U   *underlay.Network
 	Cfg Config
-	// Msgs counts RPCs ("find_node", "find_value", "store", "response").
+	// Msgs counts RPCs ("find_node", "find_value", "store", "response")
+	// — a view of the transport's per-type counters.
 	Msgs *metrics.CounterSet
-	// LookupTraffic accounts RPC bytes by AS pair.
+	// LookupTraffic accounts RPC bytes by AS pair, recorded by the
+	// transport across all RPC message types.
 	LookupTraffic *metrics.TrafficMatrix
 
 	nodes     map[underlay.HostID]*Node
@@ -93,16 +99,18 @@ type DHT struct {
 	proximity func(a, b *underlay.Host) float64
 }
 
-// New creates an empty DHT.
-func New(u *underlay.Network, cfg Config, r *rand.Rand) *DHT {
+// New creates an empty DHT sending through tr.
+func New(tr transport.Messenger, cfg Config, r *rand.Rand) *DHT {
 	if cfg.K < 1 || cfg.Alpha < 1 {
 		panic("kademlia: K and Alpha must be ≥ 1")
 	}
+	u := tr.Underlay()
 	d := &DHT{
+		T:             tr,
 		U:             u,
 		Cfg:           cfg,
-		Msgs:          metrics.NewCounterSet(),
-		LookupTraffic: metrics.NewTrafficMatrix(),
+		Msgs:          tr.Counters(),
+		LookupTraffic: tr.MatrixFor("find_node", "find_value", "response", "store"),
 		nodes:         make(map[underlay.HostID]*Node),
 		byID:          make(map[NodeID]*Node),
 		r:             r,

@@ -8,6 +8,7 @@ import (
 
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -23,7 +24,7 @@ func buildDHT(t *testing.T, nHosts int, pns bool, seed int64) (*underlay.Network
 	topology.PlaceHosts(net, (nHosts+7)/8, false, 1, 5, src.Stream("place"))
 	cfg := DefaultConfig()
 	cfg.PNS = pns
-	d := New(net, cfg, src.Stream("dht"))
+	d := New(transport.Over(net), cfg, src.Stream("dht"))
 	for i, h := range net.Hosts() {
 		if i >= nHosts {
 			break

@@ -108,17 +108,17 @@ func (d *DHT) lookup(from underlay.HostID, target NodeID, valueKey *Key) LookupR
 			if peer == nil || !peer.host.Up {
 				continue // dead contact: RPC times out, contributes nothing
 			}
-			// Request and response, accounted on the underlay.
-			d.Msgs.Get(kind).Inc()
-			d.Msgs.Get("response").Inc()
-			d.U.Send(origin.host, peer.host, d.Cfg.RPCBytes)
-			d.U.Send(peer.host, origin.host, d.Cfg.RPCBytes)
-			d.LookupTraffic.Add(origin.host.AS.ID, peer.host.AS.ID, d.Cfg.RPCBytes)
-			d.LookupTraffic.Add(peer.host.AS.ID, origin.host.AS.ID, d.Cfg.RPCBytes)
+			// Request and response through the transport (which counts
+			// both messages, charges the underlay, and records the
+			// AS-pair traffic).
+			rt := d.T.RoundTrip(origin.host, peer.host,
+				d.Cfg.RPCBytes, d.Cfg.RPCBytes, kind, "response")
 			res.Msgs += 2
-			rtt := d.U.RTT(origin.host, peer.host)
-			if rtt > roundLatency {
-				roundLatency = rtt
+			if !rt.OK {
+				continue // RPC lost: times out, contributes nothing
+			}
+			if rt.Latency > roundLatency {
+				roundLatency = rt.Latency
 			}
 			// The queried node learns about the querier; the querier
 			// learns the peer's K closest to the target.
@@ -156,10 +156,11 @@ func (d *DHT) Put(from underlay.HostID, key Key, value []byte) LookupResult {
 		if peer == nil || !peer.host.Up {
 			continue
 		}
-		d.Msgs.Get("store").Inc()
-		d.U.Send(origin.host, peer.host, d.Cfg.RPCBytes+uint64(len(value)))
-		d.LookupTraffic.Add(origin.host.AS.ID, peer.host.AS.ID, d.Cfg.RPCBytes+uint64(len(value)))
+		sr := d.T.Send(origin.host, peer.host, d.Cfg.RPCBytes+uint64(len(value)), "store")
 		res.Msgs++
+		if !sr.OK {
+			continue // STORE lost: this replica is not written
+		}
 		peer.store[key] = value
 	}
 	// The origin may itself be among the K closest.

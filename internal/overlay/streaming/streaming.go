@@ -13,6 +13,7 @@ import (
 
 	"unap2p/internal/metrics"
 	"unap2p/internal/resources"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -73,10 +74,13 @@ func (p *Peer) Has(chunk int) bool { return p.isSource || p.have[chunk] }
 
 // Mesh is a streaming session.
 type Mesh struct {
+	// T carries chunk transfers; U serves topology queries.
+	T     transport.Messenger
 	U     *underlay.Network
 	Cfg   Config
 	Table *resources.Table
-	// ChunkTraffic accounts chunk bytes by AS pair.
+	// ChunkTraffic accounts chunk bytes by AS pair, recorded by the
+	// transport under the "chunk" message type.
 	ChunkTraffic *metrics.TrafficMatrix
 
 	source *Peer
@@ -85,15 +89,15 @@ type Mesh struct {
 	r      *rand.Rand
 }
 
-// NewMesh creates a session rooted at the source host.
-func NewMesh(u *underlay.Network, table *resources.Table, source *underlay.Host,
+// NewMesh creates a session rooted at the source host, sending through tr.
+func NewMesh(tr transport.Messenger, table *resources.Table, source *underlay.Host,
 	cfg Config, r *rand.Rand) *Mesh {
 	if cfg.Parents < 1 || cfg.Window < 1 || cfg.BitrateKbps <= 0 {
 		panic("streaming: invalid config")
 	}
 	m := &Mesh{
-		U: u, Cfg: cfg, Table: table,
-		ChunkTraffic: metrics.NewTrafficMatrix(),
+		T: tr, U: tr.Underlay(), Cfg: cfg, Table: table,
+		ChunkTraffic: tr.MatrixFor("chunk"),
 		r:            r,
 	}
 	m.source = &Peer{Host: source, have: map[int]bool{}, isSource: true, upPerTick: 1e9}
@@ -225,9 +229,11 @@ func (m *Mesh) Tick() {
 					continue
 				}
 				parent.budget--
-				p.have[c] = true
-				m.U.Send(parent.Host, p.Host, m.Cfg.ChunkBytes)
-				m.ChunkTraffic.Add(parent.Host.AS.ID, p.Host.AS.ID, m.Cfg.ChunkBytes)
+				// The parent's budget is spent even when the chunk is
+				// lost; the peer retries the chunk next tick.
+				if sr := m.T.Send(parent.Host, p.Host, m.Cfg.ChunkBytes, "chunk"); sr.OK {
+					p.have[c] = true
+				}
 				break
 			}
 		}

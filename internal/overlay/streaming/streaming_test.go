@@ -6,6 +6,7 @@ import (
 	"unap2p/internal/resources"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -20,7 +21,7 @@ func buildMesh(t testing.TB, aware bool, seed int64) (*underlay.Network, *Mesh) 
 	table := resources.GenerateAll(net, src.Stream("res"))
 	cfg := DefaultConfig()
 	cfg.Aware = aware
-	m := NewMesh(net, table, net.Hosts()[0], cfg, src.Stream("mesh"))
+	m := NewMesh(transport.Over(net), table, net.Hosts()[0], cfg, src.Stream("mesh"))
 	for _, h := range net.Hosts()[1:] {
 		m.AddViewer(h)
 	}

@@ -1,0 +1,380 @@
+// Package transport is the unified message layer between every overlay and
+// the simulated underlay. The paper's conclusion (§7) calls for "a general
+// architecture for underlay awareness in which different underlay
+// information can be collected and used"; in unap2p that architecture is a
+// single instrumented send path:
+//
+//	sim.Kernel ── schedules deliveries
+//	underlay.Network ── routes bytes, charges links, computes latency
+//	transport.Transport ── THIS LAYER: counts, traces, injects faults
+//	overlays (gnutella, kademlia, chord, …) ── protocol logic only
+//	metrics ── counters, histograms, AS-pair traffic matrices
+//
+// Every overlay message — one-way sends, request/reply round trips, and
+// latency probes — goes through a Transport, which provides:
+//
+//   - per-message-type counters (Counters) and latency histograms,
+//   - centralized intra-AS vs cross-ISP byte accounting (StatsFor,
+//     IntraFraction) plus optional per-type traffic matrices (MatrixFor),
+//   - deterministic fault injection (Faults): per-seed packet loss and
+//     extra delay, for the churn/failure robustness studies of §6,
+//   - tracing (Trace) of every message for debugging and analysis,
+//   - kernel-integrated delivery scheduling (Deliver).
+//
+// With fault injection disabled the layer is a pure observer: latencies
+// and byte accounting are bit-identical to calling underlay.Network.Send
+// directly, so fixed-seed experiment results are unchanged by routing
+// traffic through it.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"unap2p/internal/metrics"
+	"unap2p/internal/sim"
+	"unap2p/internal/underlay"
+)
+
+// Result reports the outcome of one transport operation.
+type Result struct {
+	// Latency is the one-way delivery latency for Send, or the full
+	// round-trip latency for RoundTrip and Probe. Zero when the message
+	// was dropped.
+	Latency sim.Duration
+	// OK reports whether the message (and, for round trips, its reply)
+	// was delivered. Only fault injection makes it false.
+	OK bool
+}
+
+// Event describes one message for tracing.
+type Event struct {
+	From, To *underlay.Host
+	Type     string
+	Bytes    uint64
+	// Latency is the one-way delivery latency (0 when dropped).
+	Latency sim.Duration
+	// Dropped reports that fault injection discarded the message.
+	Dropped bool
+}
+
+// Faults configures deterministic fault injection. The zero value injects
+// nothing and adds no per-message RNG draws, preserving bit-identical
+// results for existing seeds.
+type Faults struct {
+	// LossRate is the probability in [0,1] that a message is dropped
+	// before reaching the underlay. Requires Rand.
+	LossRate float64
+	// ExtraDelay is added to every delivered message's one-way latency.
+	ExtraDelay sim.Duration
+	// JitterMax, when positive, adds a uniform random extra delay in
+	// [0, JitterMax) per delivered message. Requires Rand.
+	JitterMax sim.Duration
+	// Rand is the dedicated RNG stream for loss and jitter draws; use a
+	// sim.Source stream so faults are reproducible per seed.
+	Rand *rand.Rand
+}
+
+func (f Faults) active() bool { return f.LossRate > 0 || f.ExtraDelay > 0 || f.JitterMax > 0 }
+
+// Messenger is the interface overlays send through. *Transport is the
+// production implementation; tests inject fakes to observe protocol
+// behaviour without a real underlay charge.
+type Messenger interface {
+	// Underlay returns the network used for topology queries (host
+	// lookup, latency estimates); overlays must not call its Send.
+	Underlay() *underlay.Network
+	// Kernel returns the event kernel for scheduling, or nil when the
+	// transport was built without one.
+	Kernel() *sim.Kernel
+	// Send delivers one message of the given type and size.
+	Send(from, to *underlay.Host, bytes uint64, msgType string) Result
+	// RoundTrip sends a request and its reply, returning the summed
+	// round-trip latency — the request/reply idiom every RPC-style
+	// overlay shares.
+	RoundTrip(from, to *underlay.Host, reqBytes, respBytes uint64, reqType, respType string) Result
+	// Probe measures the RTT between two hosts with a real probe/response
+	// message pair (type "probe"), charging the measurement traffic §3.2
+	// warns about.
+	Probe(from, to *underlay.Host, bytes uint64) Result
+	// Counters exposes the per-message-type counters.
+	Counters() *metrics.CounterSet
+	// MatrixFor returns a traffic matrix recording every message of the
+	// given types (shared across them), creating it on first use.
+	MatrixFor(msgTypes ...string) *metrics.TrafficMatrix
+}
+
+// typeStats accumulates per-message-type accounting.
+type typeStats struct {
+	msgs, dropped     uint64
+	bytes, intraBytes uint64
+	latency           *metrics.Histogram
+}
+
+// Stats is a read-only snapshot of one message type's accounting.
+type Stats struct {
+	Type string
+	// Msgs counts send attempts; Dropped counts those lost to fault
+	// injection.
+	Msgs, Dropped uint64
+	// Bytes is delivered payload; IntraBytes the share whose endpoints
+	// lay in the same AS. Inter-ISP bytes are Bytes - IntraBytes.
+	Bytes, IntraBytes uint64
+	// Latency is the one-way delivery latency histogram (live view).
+	Latency *metrics.Histogram
+}
+
+// InterBytes returns the delivered bytes that crossed an AS boundary —
+// the traffic ISPs pay transit for.
+func (s Stats) InterBytes() uint64 { return s.Bytes - s.IntraBytes }
+
+// Transport is the production Messenger over a real underlay.
+type Transport struct {
+	u *underlay.Network
+	k *sim.Kernel
+
+	// Faults configures deterministic loss and delay injection.
+	Faults Faults
+	// Retries is how many extra attempts RoundTrip makes when either leg
+	// is dropped; retries are real (counted, charged) messages, so
+	// overlay recovery traffic stays bounded and visible.
+	Retries int
+	// Trace, when non-nil, observes every message (including drops).
+	Trace func(Event)
+
+	msgs     *metrics.CounterSet
+	types    map[string]*typeStats
+	matrices map[string]*metrics.TrafficMatrix
+}
+
+var _ Messenger = (*Transport)(nil)
+
+// New returns a Transport over the given underlay. k may be nil for
+// overlays that never schedule deliveries on a kernel.
+func New(u *underlay.Network, k *sim.Kernel) *Transport {
+	if u == nil {
+		panic("transport: nil underlay")
+	}
+	return &Transport{
+		u:        u,
+		k:        k,
+		msgs:     metrics.NewCounterSet(),
+		types:    make(map[string]*typeStats),
+		matrices: make(map[string]*metrics.TrafficMatrix),
+	}
+}
+
+// Over is shorthand for New(u, nil) — a transport for kernel-less overlays.
+func Over(u *underlay.Network) *Transport { return New(u, nil) }
+
+// Underlay returns the wrapped network.
+func (t *Transport) Underlay() *underlay.Network { return t.u }
+
+// Kernel returns the event kernel (nil when built without one).
+func (t *Transport) Kernel() *sim.Kernel { return t.k }
+
+// Counters exposes the per-message-type counters.
+func (t *Transport) Counters() *metrics.CounterSet { return t.msgs }
+
+// MatrixFor returns the traffic matrix shared by the given message types,
+// creating and registering one on first use. Subsequent Sends of any of
+// the types update it.
+func (t *Transport) MatrixFor(msgTypes ...string) *metrics.TrafficMatrix {
+	if len(msgTypes) == 0 {
+		panic("transport: MatrixFor needs at least one message type")
+	}
+	var m *metrics.TrafficMatrix
+	for _, ty := range msgTypes {
+		if ex := t.matrices[ty]; ex != nil {
+			m = ex
+			break
+		}
+	}
+	if m == nil {
+		m = metrics.NewTrafficMatrix()
+	}
+	for _, ty := range msgTypes {
+		t.matrices[ty] = m
+	}
+	return m
+}
+
+func (t *Transport) stats(msgType string) *typeStats {
+	st, ok := t.types[msgType]
+	if !ok {
+		st = &typeStats{latency: metrics.NewLatencyHistogram()}
+		t.types[msgType] = st
+	}
+	return st
+}
+
+// dropped draws the loss decision for one message.
+func (t *Transport) dropped() bool {
+	if t.Faults.LossRate <= 0 {
+		return false
+	}
+	if t.Faults.Rand == nil {
+		panic("transport: Faults.LossRate requires Faults.Rand")
+	}
+	return t.Faults.Rand.Float64() < t.Faults.LossRate
+}
+
+// extraDelay draws the injected delay for one delivered message.
+func (t *Transport) extraDelay() sim.Duration {
+	d := t.Faults.ExtraDelay
+	if t.Faults.JitterMax > 0 {
+		if t.Faults.Rand == nil {
+			panic("transport: Faults.JitterMax requires Faults.Rand")
+		}
+		d += sim.Duration(t.Faults.Rand.Float64() * float64(t.Faults.JitterMax))
+	}
+	return d
+}
+
+// Send delivers one message: the type counter is incremented, the bytes
+// are charged to the underlay path, and the one-way latency (plus any
+// injected delay) is returned. A message dropped by fault injection is
+// counted but charges nothing.
+func (t *Transport) Send(from, to *underlay.Host, bytes uint64, msgType string) Result {
+	st := t.stats(msgType)
+	t.msgs.Get(msgType).Inc()
+	st.msgs++
+	if t.dropped() {
+		st.dropped++
+		if t.Trace != nil {
+			t.Trace(Event{From: from, To: to, Type: msgType, Bytes: bytes, Dropped: true})
+		}
+		return Result{}
+	}
+	lat := t.u.Send(from, to, bytes)
+	if t.Faults.active() {
+		lat += t.extraDelay()
+	}
+	st.bytes += bytes
+	if from.AS.ID == to.AS.ID {
+		st.intraBytes += bytes
+	}
+	st.latency.Observe(float64(lat))
+	if m := t.matrices[msgType]; m != nil {
+		m.Add(from.AS.ID, to.AS.ID, bytes)
+	}
+	if t.Trace != nil {
+		t.Trace(Event{From: from, To: to, Type: msgType, Bytes: bytes, Latency: lat})
+	}
+	return Result{Latency: lat, OK: true}
+}
+
+// RoundTrip performs a request/reply exchange, retrying a dropped leg up
+// to Retries extra attempts. It returns the summed round-trip latency of
+// the successful attempt.
+func (t *Transport) RoundTrip(from, to *underlay.Host, reqBytes, respBytes uint64,
+	reqType, respType string) Result {
+	for attempt := 0; ; attempt++ {
+		req := t.Send(from, to, reqBytes, reqType)
+		if req.OK {
+			resp := t.Send(to, from, respBytes, respType)
+			if resp.OK {
+				return Result{Latency: req.Latency + resp.Latency, OK: true}
+			}
+		}
+		if attempt >= t.Retries {
+			return Result{}
+		}
+	}
+}
+
+// Probe measures the RTT between two hosts with a probe/response pair of
+// the given size, counted under type "probe".
+func (t *Transport) Probe(from, to *underlay.Host, bytes uint64) Result {
+	return t.RoundTrip(from, to, bytes, bytes, "probe", "probe")
+}
+
+// Deliver sends a message and schedules fn on the kernel at its delivery
+// time. A dropped message never runs fn. It reports whether delivery was
+// scheduled.
+func (t *Transport) Deliver(from, to *underlay.Host, bytes uint64, msgType string, fn func()) bool {
+	if t.k == nil {
+		panic("transport: Deliver requires a kernel")
+	}
+	res := t.Send(from, to, bytes, msgType)
+	if !res.OK {
+		return false
+	}
+	t.k.Schedule(res.Latency, fn)
+	return true
+}
+
+// TypeNames returns every message type seen so far, sorted.
+func (t *Transport) TypeNames() []string {
+	names := make([]string, 0, len(t.types))
+	for n := range t.types {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StatsFor returns the accounting snapshot for one message type (zero
+// Stats with a nil histogram when the type was never sent).
+func (t *Transport) StatsFor(msgType string) Stats {
+	st, ok := t.types[msgType]
+	if !ok {
+		return Stats{Type: msgType}
+	}
+	return Stats{
+		Type: msgType, Msgs: st.msgs, Dropped: st.dropped,
+		Bytes: st.bytes, IntraBytes: st.intraBytes, Latency: st.latency,
+	}
+}
+
+// AllStats returns snapshots for every message type, sorted by type.
+func (t *Transport) AllStats() []Stats {
+	out := make([]Stats, 0, len(t.types))
+	for _, n := range t.TypeNames() {
+		out = append(out, t.StatsFor(n))
+	}
+	return out
+}
+
+// TotalBytes returns delivered bytes across all message types.
+func (t *Transport) TotalBytes() uint64 {
+	var sum uint64
+	for _, st := range t.types {
+		sum += st.bytes
+	}
+	return sum
+}
+
+// IntraFraction returns the intra-AS share of all delivered bytes in
+// [0,1] — the locality headline, computed once here instead of per
+// experiment.
+func (t *Transport) IntraFraction() float64 {
+	var intra, total uint64
+	for _, st := range t.types {
+		intra += st.intraBytes
+		total += st.bytes
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(intra) / float64(total)
+}
+
+// Report formats the per-type accounting as an aligned text table.
+func (t *Transport) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %8s %12s %8s %10s %10s\n",
+		"type", "msgs", "dropped", "bytes", "intra%", "lat p50", "lat p95")
+	for _, s := range t.AllStats() {
+		intra := 0.0
+		if s.Bytes > 0 {
+			intra = 100 * float64(s.IntraBytes) / float64(s.Bytes)
+		}
+		fmt.Fprintf(&b, "%-12s %10d %8d %12d %7.1f%% %10.1f %10.1f\n",
+			s.Type, s.Msgs, s.Dropped, s.Bytes, intra,
+			s.Latency.Quantile(0.5), s.Latency.Quantile(0.95))
+	}
+	return b.String()
+}
