@@ -1,10 +1,18 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench
+# BENCHTIME bounds each benchmark iteration window; raise it (e.g. 1s)
+# for publication-quality numbers.
+BENCHTIME ?= 100ms
+
+.PHONY: ci vet build test race bench cover
 
 # ci is the full verification gate: static analysis, a clean build of
-# every package, and the test suite under the race detector.
+# every package, and the test suite under the race detector. Benchmarks
+# and the coverage summary run afterwards as non-fatal reporting steps
+# (a perf regression or coverage dip is visible but does not gate).
 ci: vet build race
+	-$(MAKE) bench
+	-$(MAKE) cover
 
 vet:
 	$(GO) vet ./...
@@ -18,7 +26,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs every benchmark once (compile + smoke); use
-# `go test -bench=. ./internal/...` directly for real measurements.
+# bench runs the tier-1 micro-benchmarks with allocation stats, three
+# interleaved runs each so variance is visible.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCHTIME) -benchmem -count=3 ./...
+
+# cover writes a merged coverage profile and prints the total statement
+# coverage.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1

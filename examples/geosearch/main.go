@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 
+	"unap2p/internal/core"
 	"unap2p/internal/geo"
 	"unap2p/internal/overlay/geotree"
 	"unap2p/internal/sim"
@@ -21,9 +22,9 @@ func main() {
 	net := topology.Star(8, topology.DefaultConfig())
 	hosts := topology.PlaceHosts(net, 30, false, 1, 5, src.Stream("place"))
 
-	// Every peer gets a noisy GPS fix of its true position and registers
-	// in the tree under it.
-	tree := geotree.New(transport.Over(net), geotree.DefaultConfig())
+	// Every peer registers in the tree under its GPS fix, supplied by the
+	// geolocation selector (§3.3).
+	tree := geotree.New(transport.Over(net), core.GeoSelector{}, geotree.DefaultConfig())
 	for _, h := range hosts {
 		tree.Insert(h)
 	}

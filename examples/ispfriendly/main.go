@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 
+	"unap2p/internal/core"
 	"unap2p/internal/cost"
 	"unap2p/internal/overlay/bittorrent"
 	"unap2p/internal/sim"
@@ -27,8 +28,13 @@ func main() {
 		topology.PlaceHosts(net, 15, false, 1, 5, src.Stream("place"))
 
 		cfg := bittorrent.DefaultConfig()
-		cfg.Biased = biased
-		swarm := bittorrent.NewSwarm(transport.Over(net), cfg, src.Stream("swarm"))
+		var sel core.Selector
+		if biased {
+			// The tracker consults AS-hop distances (§3.1) to hand out
+			// mostly same-ISP neighbors.
+			sel = core.ASHopSelector(net)
+		}
+		swarm := bittorrent.NewSwarm(transport.Over(net), sel, cfg, src.Stream("swarm"))
 		for i, h := range net.Hosts() {
 			if i == 0 {
 				swarm.AddSeed(h)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"unap2p/internal/coords"
+	"unap2p/internal/core"
 	"unap2p/internal/overlay/kademlia"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
@@ -37,8 +38,11 @@ func main() {
 	// routing tables.
 	for _, pns := range []bool{false, true} {
 		cfg := kademlia.DefaultConfig()
-		cfg.PNS = pns
-		d := kademlia.New(transport.Over(net), cfg, sim.NewSource(11).Fork(fmt.Sprint("dht-", pns)).Stream("dht"))
+		var sel core.Selector
+		if pns {
+			sel = core.RTTSelector(net)
+		}
+		d := kademlia.New(transport.Over(net), sel, cfg, sim.NewSource(11).Fork(fmt.Sprint("dht-", pns)).Stream("dht"))
 		for _, h := range hosts {
 			d.AddNode(h)
 		}

@@ -1,5 +1,8 @@
-// Quickstart: build a simulated Internet, attach the underlay-awareness
-// framework, and watch biased neighbor selection localize traffic.
+// Quickstart: build a simulated Internet, compose underlay-awareness
+// into a core.Selector, and inject it into an overlay next to the
+// transport — the control plane and the data plane of unap2p in one
+// screen. Biased neighbor selection localizes the overlay; the score
+// cache and the awareness counters show what that bias costs.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -11,8 +14,10 @@ import (
 	"unap2p/internal/ipmap"
 	"unap2p/internal/metrics"
 	"unap2p/internal/oracle"
+	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -28,52 +33,70 @@ func main() {
 	plan := ipmap.AssignAll(net)
 	fmt.Println("underlay:", topology.Describe(net))
 
-	// 2. Collection: an IP-to-ISP mapping service and an ISP oracle —
-	// two of the Figure 3 techniques, both exposed as framework
-	// estimators.
+	// 2. Collection: an IP-to-ISP mapping service and an ISP oracle — two
+	// of the Figure 3 techniques — combined into one engine with a
+	// memoized score cache, then wrapped as the Selector every overlay
+	// accepts at construction.
 	registry := ipmap.NewRegistry(net, plan)
 	orc := oracle.New(net)
 	engine := core.NewEngine().
 		Add(&core.IPMapEstimator{Reg: registry}, 1).
 		Add(&core.OracleEstimator{O: orc, U: net}, 1)
+	engine.EnableCache(core.CacheConfig{Capacity: 4096})
+	sel := core.NewEngineSelector(engine, net)
 
-	// 3. Usage: every host picks 5 neighbors from 30 random candidates —
-	// once uniformly, once through the engine (with 1 random external
-	// link to keep the overlay connected).
-	hostOf := func(id underlay.HostID) *underlay.Host { return net.Host(id) }
-	pick := src.Stream("pick")
-	var randomEdges, biasedEdges []metrics.Edge
-	for _, h := range hosts {
-		var candidates []underlay.HostID
-		for len(candidates) < 30 {
-			c := hosts[pick.Intn(len(hosts))]
-			if c.ID != h.ID {
-				candidates = append(candidates, c.ID)
-			}
+	// 3. Usage: the same Gnutella overlay twice — once fully unaware
+	// (nil selector), once with the selector injected beside the
+	// transport. The selector biases each node's neighbor choices while
+	// the transport carries (and counts) every protocol message.
+	build := func(s core.Selector, label string) {
+		k := sim.NewKernel()
+		tr := transport.New(net, k)
+		if s != nil {
+			// Unified accounting: collection overhead lands in the same
+			// counter set as the protocol traffic.
+			engine.RouteOverhead(tr.Counters())
 		}
-		for i := 0; i < 5; i++ {
-			randomEdges = append(randomEdges, metrics.Edge{A: int(h.ID), B: int(candidates[i])})
+		ov := gnutella.New(tr, s, gnutella.DefaultConfig(), src.Fork(label).Stream("overlay"))
+		for i, h := range hosts {
+			ov.AddNode(h, i%4 == 0) // every 4th host an ultrapeer
 		}
-		for _, nb := range engine.SelectNeighbors(h, candidates, 5, 1, hostOf, pick) {
-			biasedEdges = append(biasedEdges, metrics.Edge{A: int(h.ID), B: int(nb)})
+		ov.JoinAll()
+		ov.Ping(hosts[0].ID) // one ping flood exercises the data plane
+		edges := ov.Edges()
+		labels := make([]int, net.NumHosts())
+		for _, h := range net.Hosts() {
+			labels[h.ID] = h.AS.ID
 		}
+		fmt.Printf("%-16s %5.1f%% intra-ISP edges, %d components, %d pings, %d awareness lookups\n",
+			label+":",
+			100*metrics.IntraASEdgeFraction(edges, labels),
+			metrics.ComponentCount(net.NumHosts(), edges),
+			tr.Counters().Value("ping"),
+			tr.Counters().Value(core.OverheadCounterName(core.ISPComponent))+
+				tr.Counters().Value(core.OverheadCounterName(core.IPToISPMapping)))
 	}
+	build(nil, "unaware")
+	build(sel, "underlay-aware")
 
-	labels := make([]int, net.NumHosts())
-	for _, h := range net.Hosts() {
-		labels[h.ID] = h.AS.ID
+	// Re-ranking pairs the joins already scored is free now: biased
+	// source selection over the whole population hits the warm cache.
+	holders := make([]underlay.HostID, 0, len(hosts)-1)
+	for _, h := range hosts[1:] {
+		holders = append(holders, h.ID)
 	}
-	fmt.Printf("random neighbors:  %.1f%% intra-ISP edges, %d components\n",
-		100*metrics.IntraASEdgeFraction(randomEdges, labels),
-		metrics.ComponentCount(net.NumHosts(), randomEdges))
-	fmt.Printf("aware neighbors:   %.1f%% intra-ISP edges, %d components\n",
-		100*metrics.IntraASEdgeFraction(biasedEdges, labels),
-		metrics.ComponentCount(net.NumHosts(), biasedEdges))
-	fmt.Printf("collection overhead: %d lookups/queries\n", engine.TotalOverhead())
+	best, _ := sel.SelectSource(hosts[0], holders)
+	fmt.Printf("closest source for h%d: h%d (same ISP: %v)\n",
+		hosts[0].ID, best, net.Host(best).AS.ID == hosts[0].AS.ID)
+	fmt.Printf("score cache: %v\n", engine.CacheStats())
 
 	// 4. Or let the framework wire itself: Bootstrap builds the same kind
-	// of engine (registry + Vivaldi by default) in one call.
+	// of engine (registry + Vivaldi by default) in one call; wrap it in an
+	// EngineSelector to hand it to any overlay.
 	auto := core.Bootstrap(net, src.Fork("auto"), core.DefaultBootstrap())
-	fmt.Printf("bootstrap engine: %d estimators, overhead %d\n",
-		len(auto.Estimators()), auto.TotalOverhead())
+	autoSel := core.NewEngineSelector(auto, net)
+	a, b := hosts[0], hosts[1]
+	cost, _ := autoSel.Proximity(a, b)
+	fmt.Printf("bootstrap engine: %d estimators, overhead %d, cost(h%d,h%d)=%.1f\n",
+		len(auto.Estimators()), auto.TotalOverhead(), a.ID, b.ID, cost)
 }

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 
+	"unap2p/internal/core"
 	"unap2p/internal/overlay/streaming"
 	"unap2p/internal/resources"
 	"unap2p/internal/sim"
@@ -28,8 +29,10 @@ func main() {
 		table := resources.GenerateAll(net, src.Stream("res"))
 
 		cfg := streaming.DefaultConfig()
-		cfg.Aware = aware
-		mesh := streaming.NewMesh(transport.Over(net), table, net.Hosts()[0], cfg, src.Stream("mesh"))
+		// The resource selector supplies viewer upload capacities; with
+		// WeightParents it also weights parent picks by capacity (§2.3).
+		sel := &core.ResourceSelector{Table: table, WeightParents: aware}
+		mesh := streaming.NewMesh(transport.Over(net), sel, net.Hosts()[0], cfg, src.Stream("mesh"))
 		for _, h := range net.Hosts()[1:] {
 			mesh.AddViewer(h)
 		}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"unap2p/internal/coords"
+	"unap2p/internal/geo"
+	"unap2p/internal/sim"
+	"unap2p/internal/topology"
+	"unap2p/internal/underlay"
+)
+
+// benchEngine builds a representative multi-kind engine — AS hops,
+// measured RTT, haversine geolocation, and Vivaldi prediction — over a
+// transit-stub underlay, with a fixed client and candidate set. This is
+// the composition the cache is for: per-estimate work (trig, vector math)
+// repeated across floods, lookups, and tracker responses.
+func benchEngine(b *testing.B, cached bool) (*Engine, *underlay.Host, []underlay.HostID, func(underlay.HostID) *underlay.Host) {
+	b.Helper()
+	src := sim.NewSource(1)
+	net := topology.TransitStub(topology.TransitStubConfig{
+		Config:   topology.Config{IntraDelay: 5, LinkDelay: 20, Rand: src.Stream("topo")},
+		Transits: 2,
+		Stubs:    8,
+	})
+	hosts := topology.PlaceHosts(net, 10, false, 1, 5, src.Stream("place"))
+	rtt := func(i, j int) float64 { return float64(net.RTT(hosts[i], hosts[j])) }
+	vs := coords.NewVivaldiSystem(len(hosts), coords.DefaultVivaldiConfig(), rtt, src.Stream("vivaldi"))
+	vs.Run(30)
+	vidx := map[underlay.HostID]int{}
+	for i, h := range hosts {
+		vidx[h.ID] = i
+	}
+	eng := NewEngine().
+		Add(&FuncEstimator{K: ISPLocation, M: IPToISPMapping,
+			F: func(a, c *underlay.Host) (float64, bool) {
+				d := net.ASHops(a.AS.ID, c.AS.ID)
+				if d < 0 {
+					return 0, false
+				}
+				return float64(d), true
+			}}, 1).
+		Add(&FuncEstimator{K: Latency, M: ExplicitMeasurement,
+			F: func(a, c *underlay.Host) (float64, bool) {
+				return float64(net.RTT(a, c)), true
+			}}, 1).
+		Add(&FuncEstimator{K: Geolocation, M: GPS,
+			F: func(a, c *underlay.Host) (float64, bool) {
+				return geo.Haversine(geo.Coord{Lat: a.Lat, Lon: a.Lon},
+					geo.Coord{Lat: c.Lat, Lon: c.Lon}), true
+			}}, 1).
+		Add(&VivaldiEstimator{S: vs, Index: vidx}, 1)
+	if cached {
+		eng.EnableCache(CacheConfig{Capacity: 4096})
+	}
+	client := hosts[0]
+	var cands []underlay.HostID
+	for _, h := range hosts[1:41] {
+		cands = append(cands, h.ID)
+	}
+	return eng, client, cands, func(id underlay.HostID) *underlay.Host { return net.Host(id) }
+}
+
+func BenchmarkScoreUncached(b *testing.B) {
+	eng, client, cands, hostOf := benchEngine(b, false)
+	peer := hostOf(cands[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Score(client, peer)
+	}
+}
+
+func BenchmarkScoreCached(b *testing.B) {
+	eng, client, cands, hostOf := benchEngine(b, true)
+	peer := hostOf(cands[0])
+	eng.Score(client, peer) // warm the entry
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Score(client, peer)
+	}
+}
+
+func BenchmarkRankUncached(b *testing.B) {
+	eng, client, cands, hostOf := benchEngine(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Rank(client, cands, hostOf)
+	}
+}
+
+func BenchmarkRankCached(b *testing.B) {
+	eng, client, cands, hostOf := benchEngine(b, true)
+	eng.Rank(client, cands, hostOf) // warm all entries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Rank(client, cands, hostOf)
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"unap2p/internal/metrics"
+	"unap2p/internal/underlay"
+)
+
+// CacheConfig sizes the memoized score cache of an Engine.
+type CacheConfig struct {
+	// Capacity is the maximum number of (client, peer) pairs kept; when
+	// full, the oldest entry is evicted (FIFO). Capacity <= 0 disables
+	// caching.
+	Capacity int
+	// MaxAge is the number of epochs an entry stays servable: an entry
+	// written at epoch E answers lookups while the current epoch is
+	// below E+MaxAge and is recomputed afterwards. Zero means entries
+	// never age out (they still fall to eviction and invalidation).
+	MaxAge uint64
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits, Misses  uint64
+	Evictions     uint64
+	Invalidations uint64
+	Size          int
+	Epoch         uint64
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d invalidations=%d size=%d epoch=%d",
+		s.Hits, s.Misses, s.Evictions, s.Invalidations, s.Size, s.Epoch)
+}
+
+type cacheKey [2]underlay.HostID
+
+type cacheEntry struct {
+	score float64
+	epoch uint64
+}
+
+// scoreCache memoizes Engine.Score per directional (client, peer) pair.
+// Entries leave the cache three ways: FIFO eviction at capacity, aging
+// out after MaxAge epochs, and explicit invalidation on churn or
+// mobility-handover events (the paper's §6 staleness concern: cached
+// underlay information is only as good as its refresh policy).
+type scoreCache struct {
+	cfg   CacheConfig
+	m     map[cacheKey]cacheEntry
+	fifo  []cacheKey
+	epoch uint64
+
+	hits, misses, evictions, invalidations uint64
+}
+
+func newScoreCache(cfg CacheConfig) *scoreCache {
+	return &scoreCache{cfg: cfg, m: make(map[cacheKey]cacheEntry, cfg.Capacity)}
+}
+
+func (c *scoreCache) fresh(e cacheEntry) bool {
+	return c.cfg.MaxAge == 0 || c.epoch < e.epoch+c.cfg.MaxAge
+}
+
+func (c *scoreCache) get(client, peer underlay.HostID) (float64, bool) {
+	k := cacheKey{client, peer}
+	e, ok := c.m[k]
+	if ok && c.fresh(e) {
+		c.hits++
+		return e.score, true
+	}
+	if ok { // stale: drop so put re-admits it with the current epoch
+		delete(c.m, k)
+	}
+	c.misses++
+	return 0, false
+}
+
+func (c *scoreCache) put(client, peer underlay.HostID, score float64) {
+	k := cacheKey{client, peer}
+	if _, ok := c.m[k]; !ok {
+		for len(c.m) >= c.cfg.Capacity && len(c.fifo) > 0 {
+			old := c.fifo[0]
+			c.fifo = c.fifo[1:]
+			if _, live := c.m[old]; live {
+				delete(c.m, old)
+				c.evictions++
+			}
+		}
+		c.fifo = append(c.fifo, k)
+	}
+	c.m[k] = cacheEntry{score: score, epoch: c.epoch}
+}
+
+func (c *scoreCache) invalidate(id underlay.HostID) {
+	for k := range c.m {
+		if k[0] == id || k[1] == id {
+			delete(c.m, k)
+			c.invalidations++
+		}
+	}
+}
+
+// EnableCache turns on score memoization with the given capacity and
+// staleness policy. Only enable it when every registered estimator is a
+// pure function of its inputs at ranking time (coordinates, registry
+// lookups, ground-truth measurements); estimators that charge per-query
+// traffic would under-report overhead when served from cache — which is
+// precisely the point, but must be a deliberate choice. Returns the
+// engine for chaining.
+func (e *Engine) EnableCache(cfg CacheConfig) *Engine {
+	if cfg.Capacity <= 0 {
+		e.cache = nil
+		return e
+	}
+	e.cache = newScoreCache(cfg)
+	return e
+}
+
+// AdvanceEpoch ages every cached score by one epoch. Overlays call it at
+// natural refresh boundaries (a gossip round, a tracker re-announce, a
+// streaming tick) so entries older than CacheConfig.MaxAge epochs are
+// recomputed.
+func (e *Engine) AdvanceEpoch() {
+	if e.cache != nil {
+		e.cache.epoch++
+	}
+}
+
+// Invalidate drops every cached score involving the given host, as client
+// or as peer. Wire it to churn joins/leaves and mobility handovers (see
+// AttachChurn / AttachMobility): a peer that moved or rejoined has new
+// underlay properties, and serving its old scores is the staleness
+// failure mode of §6.
+func (e *Engine) Invalidate(id underlay.HostID) {
+	if e.cache != nil {
+		e.cache.invalidate(id)
+	}
+}
+
+// CacheStats reports hit/miss/eviction/invalidation counts; the zero
+// snapshot when caching is disabled.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	c := e.cache
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Evictions: c.evictions, Invalidations: c.invalidations,
+		Size: len(c.m), Epoch: c.epoch,
+	}
+}
+
+// RouteOverhead routes estimator collection overhead into cs: after every
+// (uncached) Score, each estimator's Overhead() delta since the previous
+// flush is added to the counter "awareness:<method>". Attaching the same
+// CounterSet a transport.Messenger reports through puts collection cost
+// next to protocol traffic — the unified accounting §5.4 asks for.
+// Overhead incurred before attachment is not back-charged.
+func (e *Engine) RouteOverhead(cs *metrics.CounterSet) {
+	e.routed = cs
+	e.lastOverhead = make([]uint64, len(e.estimators))
+	for i, est := range e.estimators {
+		e.lastOverhead[i] = est.Overhead()
+	}
+}
+
+// OverheadCounterName returns the counter name RouteOverhead charges for
+// a collection method.
+func OverheadCounterName(m Method) string { return "awareness:" + m.String() }
+
+func (e *Engine) flushOverhead() {
+	// Estimators added after RouteOverhead snapshot lazily here, so their
+	// pre-existing overhead is likewise not back-charged.
+	for len(e.lastOverhead) < len(e.estimators) {
+		e.lastOverhead = append(e.lastOverhead, e.estimators[len(e.lastOverhead)].Overhead())
+	}
+	for i, est := range e.estimators {
+		if cur := est.Overhead(); cur > e.lastOverhead[i] {
+			e.routed.Get(OverheadCounterName(est.Method())).Add(cur - e.lastOverhead[i])
+			e.lastOverhead[i] = cur
+		}
+	}
+}

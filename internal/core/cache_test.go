@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"unap2p/internal/churn"
+	"unap2p/internal/geo"
+	"unap2p/internal/metrics"
+	"unap2p/internal/mobility"
+	"unap2p/internal/sim"
+	"unap2p/internal/underlay"
+)
+
+// countingEngine returns an engine whose single estimator counts its
+// evaluations, over the given net.
+func countingEngine(net *underlay.Network) (*Engine, *FuncEstimator) {
+	est := &FuncEstimator{K: Latency, M: ExplicitMeasurement,
+		F: func(a, b *underlay.Host) (float64, bool) {
+			return float64(net.RTT(a, b)), true
+		}}
+	return NewEngine().Add(est, 1), est
+}
+
+func TestCacheMemoizesScores(t *testing.T) {
+	net := buildNet(t)
+	eng, est := countingEngine(net)
+	eng.EnableCache(CacheConfig{Capacity: 64})
+	a, b := net.Hosts()[0], net.Hosts()[1]
+	s1 := eng.Score(a, b)
+	s2 := eng.Score(a, b)
+	if s1 != s2 {
+		t.Fatalf("cached score %v != first score %v", s2, s1)
+	}
+	if est.Overhead() != 1 {
+		t.Fatalf("estimator evaluated %d times, want 1", est.Overhead())
+	}
+	st := eng.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+	// The pair is directional: (b, a) is its own entry.
+	eng.Score(b, a)
+	if est.Overhead() != 2 {
+		t.Fatalf("reverse pair served from cache (overhead %d)", est.Overhead())
+	}
+}
+
+func TestCacheFIFOEviction(t *testing.T) {
+	net := buildNet(t)
+	eng, est := countingEngine(net)
+	eng.EnableCache(CacheConfig{Capacity: 2})
+	h := net.Hosts()
+	eng.Score(h[0], h[1]) // fills slot 1
+	eng.Score(h[0], h[2]) // fills slot 2
+	eng.Score(h[0], h[3]) // evicts (0,1)
+	if st := eng.CacheStats(); st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats = %v", st)
+	}
+	eng.Score(h[0], h[1]) // must recompute
+	if est.Overhead() != 4 {
+		t.Fatalf("evicted entry served from cache (overhead %d)", est.Overhead())
+	}
+}
+
+func TestCacheStalenessEpochs(t *testing.T) {
+	net := buildNet(t)
+	eng, est := countingEngine(net)
+	eng.EnableCache(CacheConfig{Capacity: 16, MaxAge: 2})
+	a, b := net.Hosts()[0], net.Hosts()[1]
+	eng.Score(a, b)
+	eng.AdvanceEpoch()
+	eng.Score(a, b) // one epoch old: still fresh
+	if est.Overhead() != 1 {
+		t.Fatalf("fresh entry recomputed (overhead %d)", est.Overhead())
+	}
+	eng.AdvanceEpoch()
+	eng.Score(a, b) // two epochs old: aged out, recompute
+	if est.Overhead() != 2 {
+		t.Fatalf("stale entry served (overhead %d)", est.Overhead())
+	}
+	// The recomputed entry re-enters at the current epoch.
+	eng.Score(a, b)
+	if est.Overhead() != 2 {
+		t.Fatalf("re-admitted entry not cached (overhead %d)", est.Overhead())
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	net := buildNet(t)
+	eng, est := countingEngine(net)
+	eng.EnableCache(CacheConfig{Capacity: 16})
+	h := net.Hosts()
+	eng.Score(h[0], h[1])
+	eng.Score(h[1], h[2])
+	eng.Score(h[2], h[3])
+	eng.Invalidate(h[1].ID) // drops (0,1) and (1,2), as peer and as client
+	if st := eng.CacheStats(); st.Invalidations != 2 || st.Size != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+	eng.Score(h[2], h[3]) // untouched entry still serves
+	if est.Overhead() != 3 {
+		t.Fatalf("surviving entry recomputed (overhead %d)", est.Overhead())
+	}
+}
+
+func TestRouteOverheadChargesCounters(t *testing.T) {
+	net := buildNet(t)
+	eng, est := countingEngine(net)
+	cs := metrics.NewCounterSet()
+	a, b := net.Hosts()[0], net.Hosts()[1]
+	eng.Score(a, b) // pre-attachment overhead must not be back-charged
+	eng.RouteOverhead(cs)
+	eng.Score(a, b)
+	eng.Score(a, net.Hosts()[2])
+	name := OverheadCounterName(ExplicitMeasurement)
+	if got := cs.Value(name); got != 2 {
+		t.Fatalf("counter %q = %d, want 2", name, got)
+	}
+	// Cache hits skip the estimator entirely: no new overhead flushed.
+	eng.EnableCache(CacheConfig{Capacity: 8})
+	eng.Score(a, b) // miss (cache fresh), charged
+	eng.Score(a, b) // hit, free
+	if got := cs.Value(name); got != 3 {
+		t.Fatalf("counter after cache = %d, want 3", got)
+	}
+	if est.Overhead() != 4 {
+		t.Fatalf("estimator overhead = %d, want 4", est.Overhead())
+	}
+}
+
+// Integration: churn joins/leaves invalidate the moved host's cached
+// scores via AttachChurn, driven through a real kernel run.
+func TestAttachChurnInvalidatesCache(t *testing.T) {
+	net := buildNet(t)
+	eng, est := countingEngine(net)
+	eng.EnableCache(CacheConfig{Capacity: 64})
+	h := net.Hosts()
+	k := sim.NewKernel()
+	var joins, leaves int
+	d := &churn.Driver{
+		Kernel:  k,
+		Model:   churn.Exponential{MeanOn: 10, MeanOff: 10},
+		Rand:    sim.NewSource(13).Stream("churn"),
+		OnJoin:  func(*underlay.Host) { joins++ },
+		OnLeave: func(*underlay.Host) { leaves++ },
+	}
+	AttachChurn(eng, d)
+
+	eng.Score(h[0], h[1])
+	eng.Score(h[2], h[3])
+	d.Start(h[:2])
+	k.Run(50)
+	if d.Joins+d.Leaves == 0 {
+		t.Fatal("no churn events fired")
+	}
+	if joins != int(d.Joins) || leaves != int(d.Leaves) {
+		t.Fatalf("pre-existing handlers lost: %d/%d vs %d/%d", joins, leaves, d.Joins, d.Leaves)
+	}
+	if st := eng.CacheStats(); st.Invalidations == 0 {
+		t.Fatalf("churn events did not invalidate cache: %v", st)
+	}
+	// The (0,1) entry involved churned hosts: next score recomputes.
+	was := est.Overhead()
+	eng.Score(h[0], h[1])
+	if est.Overhead() != was+1 {
+		t.Fatal("churned pair still served from cache")
+	}
+	// The (2,3) entry involved only stable hosts: still cached.
+	eng.Score(h[2], h[3])
+	if est.Overhead() != was+1 {
+		t.Fatal("stable pair lost its cache entry")
+	}
+}
+
+// Integration: mobility handovers invalidate the moved host's cached
+// scores via AttachMobility.
+func TestAttachMobilityInvalidatesCache(t *testing.T) {
+	net := buildNet(t)
+	eng, _ := countingEngine(net)
+	eng.EnableCache(CacheConfig{Capacity: 64})
+	h := net.Hosts()
+	k := sim.NewKernel()
+	points := []mobility.AttachmentPoint{
+		{AS: net.AS(1), Pos: geo.Coord{Lat: 1, Lon: 1}, AccessDelay: 2},
+		{AS: net.AS(2), Pos: geo.Coord{Lat: 2, Lon: 2}, AccessDelay: 3},
+	}
+	var moved int
+	m := mobility.NewModel(k, sim.NewSource(14).Stream("mob"), points, 5)
+	m.OnMove = func(*underlay.Host, mobility.AttachmentPoint, mobility.AttachmentPoint) { moved++ }
+	AttachMobility(eng, m)
+
+	eng.Score(h[0], h[1])
+	m.Attach(h[0], 0)
+	m.Track(h[0])
+	k.Run(30)
+	if m.Moves == 0 {
+		t.Fatal("no handovers fired")
+	}
+	if moved != int(m.Moves) {
+		t.Fatalf("pre-existing OnMove lost: %d vs %d", moved, m.Moves)
+	}
+	if st := eng.CacheStats(); st.Invalidations == 0 {
+		t.Fatalf("handover did not invalidate cache: %v", st)
+	}
+}
+
+func TestEnableCacheZeroCapacityDisables(t *testing.T) {
+	net := buildNet(t)
+	eng, est := countingEngine(net)
+	eng.EnableCache(CacheConfig{Capacity: 8})
+	eng.EnableCache(CacheConfig{Capacity: 0})
+	a, b := net.Hosts()[0], net.Hosts()[1]
+	eng.Score(a, b)
+	eng.Score(a, b)
+	if est.Overhead() != 2 {
+		t.Fatalf("disabled cache still memoized (overhead %d)", est.Overhead())
+	}
+	if st := eng.CacheStats(); st != (CacheStats{}) {
+		t.Fatalf("disabled cache reports stats %v", st)
+	}
+}

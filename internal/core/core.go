@@ -14,6 +14,25 @@
 //   - Engine — the usage layer of §4: estimators are combined with
 //     weights and drive neighbor selection, source selection, and
 //     super-peer election for any overlay.
+//
+// On top of the Engine sits the Selector interface (selector.go): the
+// uniform control plane every overlay accepts at construction, exactly as
+// overlays accept a transport.Messenger for the data plane. A Selector
+// answers ranking, neighbor-selection, source-selection, super-peer
+// election, pairwise proximity, capability/bandwidth lookups, and
+// geographic positions — each verb with an ok flag so an overlay keeps
+// its underlay-unaware default when the selector has no preference.
+//
+// Two cross-cutting services complete the control plane:
+//
+//   - a memoized per-(client, peer) score cache (cache.go) with
+//     configurable capacity and staleness epochs, invalidated on churn
+//     and mobility handover events, so repeated ranking in floods,
+//     lookups, and tracker responses stops re-querying estimators;
+//   - unified overhead accounting (RouteOverhead): estimator Overhead()
+//     deltas are routed into metrics counters next to the transport's
+//     per-message-type counters, so experiments measure the collection
+//     cost of the awareness the overlays actually use.
 package core
 
 import (
@@ -21,6 +40,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"unap2p/internal/metrics"
 	"unap2p/internal/underlay"
 )
 
@@ -151,6 +171,15 @@ type Engine struct {
 	// MissPenalty is the cost assumed when an estimator has no answer
 	// (keeps unknown peers comparable instead of unrankable).
 	MissPenalty float64
+
+	// cache memoizes Score results per (client, peer) pair; nil until
+	// EnableCache. See cache.go.
+	cache *scoreCache
+	// routed receives per-method overhead counters; nil until
+	// RouteOverhead. lastOverhead snapshots each estimator's cumulative
+	// Overhead at the previous flush so only deltas are added.
+	routed       *metrics.CounterSet
+	lastOverhead []uint64
 }
 
 // NewEngine returns an empty engine with a miss penalty of 1.
@@ -177,6 +206,11 @@ func (e *Engine) Score(client, peer *underlay.Host) float64 {
 	if len(e.estimators) == 0 {
 		panic("core: Score on empty engine")
 	}
+	if e.cache != nil {
+		if s, ok := e.cache.get(client.ID, peer.ID); ok {
+			return s
+		}
+	}
 	var total float64
 	for i, est := range e.estimators {
 		c, ok := est.Estimate(client, peer)
@@ -184,6 +218,12 @@ func (e *Engine) Score(client, peer *underlay.Host) float64 {
 			c = e.MissPenalty
 		}
 		total += e.weights[i] * c
+	}
+	if e.routed != nil {
+		e.flushOverhead()
+	}
+	if e.cache != nil {
+		e.cache.put(client.ID, peer.ID, total)
 	}
 	return total
 }
@@ -209,6 +249,12 @@ func (e *Engine) SelectNeighbors(client *underlay.Host, candidates []underlay.Ho
 	k, externals int, hostOf func(underlay.HostID) *underlay.Host, r *rand.Rand) []underlay.HostID {
 	if k <= 0 {
 		return nil
+	}
+	// Clamp externals to [0, k]: a negative count must not inflate the
+	// biased share past k, and more externals than slots is just "all
+	// random".
+	if externals < 0 {
+		externals = 0
 	}
 	if externals > k {
 		externals = k

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"unap2p/internal/churn"
+	"unap2p/internal/mobility"
+	"unap2p/internal/underlay"
+)
+
+// AttachChurn chains score-cache invalidation onto a churn driver: every
+// join and leave drops the cached scores involving that host, on top of
+// any OnJoin/OnLeave handlers already installed. A host that left has no
+// usable scores; one that rejoined may come back with different underlay
+// properties (§6's staleness concern).
+func AttachChurn(e *Engine, d *churn.Driver) {
+	prevJoin, prevLeave := d.OnJoin, d.OnLeave
+	d.OnJoin = func(h *underlay.Host) {
+		e.Invalidate(h.ID)
+		if prevJoin != nil {
+			prevJoin(h)
+		}
+	}
+	d.OnLeave = func(h *underlay.Host) {
+		e.Invalidate(h.ID)
+		if prevLeave != nil {
+			prevLeave(h)
+		}
+	}
+}
+
+// AttachMobility chains score-cache invalidation onto a mobility model:
+// every handover drops the cached scores involving the moved host, on top
+// of any OnMove handler already installed — the refresh-on-handover
+// policy §6 prescribes for cached underlay information.
+func AttachMobility(e *Engine, m *mobility.Model) {
+	prev := m.OnMove
+	m.OnMove = func(h *underlay.Host, from, to mobility.AttachmentPoint) {
+		e.Invalidate(h.ID)
+		if prev != nil {
+			prev(h, from, to)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unap2p/internal/geo"
+	"unap2p/internal/ipmap"
+	"unap2p/internal/resources"
+	"unap2p/internal/sim"
+	"unap2p/internal/underlay"
+)
+
+// constSelector ranks with a constant cost, so every candidate ties.
+func constSelector(net *underlay.Network) *EngineSelector {
+	return FuncSelector(net, Latency, ExplicitMeasurement,
+		func(_, _ *underlay.Host) (float64, bool) { return 1, true })
+}
+
+// Satellite regression: a negative external count must not inflate the
+// biased share past k — before the clamp, k−externals overshot k and the
+// selection leaked extra "best" slots past the requested degree.
+func TestSelectNeighborsNegativeExternalsClamped(t *testing.T) {
+	net := buildNet(t)
+	reg := ipmap.NewRegistry(net, ipmap.AssignAll(net))
+	eng := NewEngine().Add(&IPMapEstimator{Reg: reg}, 1)
+	sel := NewEngineSelector(eng, net)
+	client := net.HostsInAS(1)[0]
+	var cands []underlay.HostID
+	for _, h := range net.Hosts() {
+		if h.ID != client.ID {
+			cands = append(cands, h.ID)
+		}
+	}
+	out, ok := sel.SelectNeighbors(client, cands, 4, -3, sim.NewSource(9).Stream("neg"))
+	if !ok {
+		t.Fatal("engine selector must answer SelectNeighbors")
+	}
+	if len(out) != 4 {
+		t.Fatalf("negative externals gave %d neighbors, want 4", len(out))
+	}
+	// Clamped to externals=0, the selection is exactly the top-4 ranking —
+	// fully deterministic, no random slots.
+	ranked, _ := sel.Rank(client, cands)
+	for i, id := range out {
+		if id != ranked[i] {
+			t.Fatalf("slot %d = %d, want top-ranked %d", i, id, ranked[i])
+		}
+	}
+}
+
+// Property: with a constant-cost estimator every candidate ties, and
+// ranking must preserve the input order (stable sort) for any permutation.
+func TestQuickRankStableUnderTies(t *testing.T) {
+	net := buildNet(t)
+	sel := constSelector(net)
+	hosts := net.Hosts()
+	client := hosts[0]
+	prop := func(picks []uint8) bool {
+		var cands []underlay.HostID
+		for _, p := range picks {
+			h := hosts[1+int(p)%(len(hosts)-1)]
+			cands = append(cands, h.ID)
+		}
+		ranked, ok := sel.Rank(client, cands)
+		if !ok || len(ranked) != len(cands) {
+			return false
+		}
+		for i := range cands {
+			if ranked[i] != cands[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SelectNeighbors returns min(k, #unique candidates) neighbors,
+// never duplicates one, keeps the biased slots equal to the top of the
+// ranking, and draws exactly the requested number of external (random)
+// slots from the rest when enough candidates exist.
+func TestQuickSelectNeighborsProperties(t *testing.T) {
+	net := buildNet(t)
+	reg := ipmap.NewRegistry(net, ipmap.AssignAll(net))
+	hosts := net.Hosts()
+	prop := func(seed int64, rawK uint8, rawExt int8, picks []uint8) bool {
+		eng := NewEngine().Add(&IPMapEstimator{Reg: reg}, 1)
+		sel := NewEngineSelector(eng, net)
+		client := hosts[0]
+		seen := map[underlay.HostID]bool{}
+		var cands []underlay.HostID
+		for _, p := range picks {
+			h := hosts[1+int(p)%(len(hosts)-1)]
+			if !seen[h.ID] {
+				seen[h.ID] = true
+				cands = append(cands, h.ID)
+			}
+		}
+		k := int(rawK % 12)
+		ext := int(rawExt) // may be negative or exceed k: must clamp
+		out, ok := sel.SelectNeighbors(client, cands, k, ext, rand.New(rand.NewSource(seed)))
+		if !ok {
+			return false
+		}
+		want := k
+		if len(cands) < k {
+			want = len(cands)
+		}
+		if k <= 0 {
+			want = 0
+		}
+		if len(out) != want {
+			return false
+		}
+		outSeen := map[underlay.HostID]bool{}
+		for _, id := range out {
+			if outSeen[id] || !seen[id] {
+				return false // duplicate, or invented a candidate
+			}
+			outSeen[id] = true
+		}
+		// Biased prefix: the first k−ext (clamped) slots are exactly the
+		// best-ranked candidates; the rest are drawn from the remainder.
+		clamped := ext
+		if clamped < 0 {
+			clamped = 0
+		}
+		if clamped > k {
+			clamped = k
+		}
+		take := k - clamped
+		if take > len(cands) {
+			take = len(cands)
+		}
+		ranked, _ := sel.Rank(client, cands)
+		for i := 0; i < take && i < len(out); i++ {
+			if out[i] != ranked[i] {
+				return false
+			}
+		}
+		if len(cands) >= k && k > 0 && len(out)-take != clamped {
+			return false // wrong external count despite enough candidates
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoPreferenceAnswersNothing(t *testing.T) {
+	var s Selector = NoPreference{}
+	if _, ok := s.Rank(nil, nil); ok {
+		t.Fatal("Rank answered")
+	}
+	if _, ok := s.SelectNeighbors(nil, nil, 3, 1, nil); ok {
+		t.Fatal("SelectNeighbors answered")
+	}
+	if _, ok := s.SelectSource(nil, nil); ok {
+		t.Fatal("SelectSource answered")
+	}
+	if _, ok := s.ElectSuperPeer(nil); ok {
+		t.Fatal("ElectSuperPeer answered")
+	}
+	if _, ok := s.Proximity(nil, nil); ok {
+		t.Fatal("Proximity answered")
+	}
+	if _, ok := s.Capability(nil); ok {
+		t.Fatal("Capability answered")
+	}
+	if _, ok := s.Bandwidth(nil); ok {
+		t.Fatal("Bandwidth answered")
+	}
+	if _, ok := s.Weight(nil); ok {
+		t.Fatal("Weight answered")
+	}
+	if _, ok := s.Position(nil); ok {
+		t.Fatal("Position answered")
+	}
+	if s.Overhead() != 0 {
+		t.Fatal("Overhead nonzero")
+	}
+}
+
+func TestEngineSelectorVerbs(t *testing.T) {
+	net := buildNet(t)
+	sel := RTTSelector(net)
+	client := net.Hosts()[0]
+	var holders []underlay.HostID
+	for _, h := range net.Hosts()[1:8] {
+		holders = append(holders, h.ID)
+	}
+	if _, ok := sel.SelectSource(client, nil); ok {
+		t.Fatal("empty holders must have no source")
+	}
+	best, ok := sel.SelectSource(client, holders)
+	if !ok {
+		t.Fatal("source selection must answer")
+	}
+	for _, id := range holders {
+		if net.RTT(client, net.Host(id)) < net.RTT(client, net.Host(best)) {
+			t.Fatalf("holder %d closer than selected source %d", id, best)
+		}
+	}
+	cost, ok := sel.Proximity(client, net.Host(holders[0]))
+	if !ok || cost != float64(net.RTT(client, net.Host(holders[0]))) {
+		t.Fatalf("proximity = %v,%v", cost, ok)
+	}
+	if sel.Overhead() == 0 {
+		t.Fatal("selector overhead must aggregate estimator evaluations")
+	}
+	// Verbs the engine doesn't cover stay unanswered.
+	if _, ok := sel.Capability(client); ok {
+		t.Fatal("engine selector should not answer Capability")
+	}
+	if _, ok := sel.Position(client); ok {
+		t.Fatal("engine selector should not answer Position")
+	}
+}
+
+func TestEngineSelectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil engine")
+		}
+	}()
+	NewEngineSelector(nil, nil)
+}
+
+func TestOracleSelectorGates(t *testing.T) {
+	net := buildNet(t)
+	client := net.HostsInAS(1)[0]
+	var cands []underlay.HostID
+	for _, h := range net.Hosts()[:10] {
+		if h.ID != client.ID {
+			cands = append(cands, h.ID)
+		}
+	}
+	joinOnly := NewOracleSelector(net, true, false)
+	if _, ok := joinOnly.Rank(client, cands); !ok {
+		t.Fatal("join-enabled selector must rank")
+	}
+	if _, ok := joinOnly.SelectSource(client, cands); ok {
+		t.Fatal("source verb must stay gated off")
+	}
+	if joinOnly.Overhead() == 0 {
+		t.Fatal("oracle queries must count as overhead")
+	}
+	srcOnly := NewOracleSelector(net, false, true)
+	if _, ok := srcOnly.Rank(client, cands); ok {
+		t.Fatal("join verb must stay gated off")
+	}
+	if best, ok := srcOnly.SelectSource(client, cands); !ok || net.Host(best) == nil {
+		t.Fatalf("source selection = %v,%v", best, ok)
+	}
+}
+
+func TestResourceSelectorVerbs(t *testing.T) {
+	net := buildNet(t)
+	tab := resources.GenerateAll(net, sim.NewSource(8).Stream("res"))
+	sel := &ResourceSelector{Table: tab}
+	h := net.Hosts()[0]
+	if c, ok := sel.Capability(h); !ok || c != tab.Get(h.ID).Score() {
+		t.Fatalf("capability = %v,%v", c, ok)
+	}
+	if b, ok := sel.Bandwidth(h); !ok || b != tab.Get(h.ID).UpKbps {
+		t.Fatalf("bandwidth = %v,%v", b, ok)
+	}
+	if _, ok := sel.Weight(h); ok {
+		t.Fatal("Weight must stay off without WeightParents")
+	}
+	sel.WeightParents = true
+	if w, ok := sel.Weight(h); !ok || w != tab.Get(h.ID).UpKbps {
+		t.Fatalf("weight = %v,%v", w, ok)
+	}
+	if _, ok := sel.ElectSuperPeer(nil); ok {
+		t.Fatal("empty group must not elect")
+	}
+	group := net.Hosts()[:12]
+	super, ok := sel.ElectSuperPeer(group)
+	if !ok {
+		t.Fatal("election must answer")
+	}
+	for _, h := range group {
+		if tab.Get(h.ID).Score() > tab.Get(super.ID).Score() {
+			t.Fatalf("host %d outscores elected super-peer %d", h.ID, super.ID)
+		}
+	}
+}
+
+func TestGeoSelectorPosition(t *testing.T) {
+	net := buildNet(t)
+	h := net.Hosts()[3]
+	c, ok := GeoSelector{}.Position(h)
+	if !ok || c != (geo.Coord{Lat: h.Lat, Lon: h.Lon}) {
+		t.Fatalf("position = %v,%v", c, ok)
+	}
+}
+
+func TestStockSelectors(t *testing.T) {
+	net := buildNet(t)
+	a := net.HostsInAS(1)[0]
+	b := net.HostsInAS(1)[1]
+	far := net.HostsInAS(3)[0]
+
+	if c, ok := ASHopSelector(net).Proximity(a, b); !ok || c != 0 {
+		t.Fatalf("same-AS hop cost = %v,%v; want 0", c, ok)
+	}
+	if c, ok := ASHopSelector(net).Proximity(a, far); !ok || c <= 0 {
+		t.Fatalf("cross-AS hop cost = %v,%v", c, ok)
+	}
+	near, _ := GeoDistanceSelector(net).Proximity(a, b)
+	away, _ := GeoDistanceSelector(net).Proximity(a, far)
+	if near != geo.Haversine(geo.Coord{Lat: a.Lat, Lon: a.Lon}, geo.Coord{Lat: b.Lat, Lon: b.Lon}) {
+		t.Fatal("geo distance must be the haversine of ground truth")
+	}
+	_ = away
+	tab := resources.GenerateAll(net, sim.NewSource(12).Stream("res"))
+	cs := CapacitySelector(net, tab)
+	ca, _ := cs.Proximity(a, b)
+	if ca != -tab.Get(b.ID).Score() {
+		t.Fatal("capacity cost must invert the capability score")
+	}
+}

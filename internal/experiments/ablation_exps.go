@@ -6,9 +6,9 @@ import (
 	"sort"
 
 	"unap2p/internal/coords"
+	"unap2p/internal/core"
 	"unap2p/internal/linalg"
 	"unap2p/internal/metrics"
-	"unap2p/internal/oracle"
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
@@ -171,10 +171,9 @@ func runAblExternal(cfg RunConfig) Result {
 		topology.PlaceHosts(net, cfg.scaled(12), false, 1, 6, src.Stream("place"))
 		k := sim.NewKernel()
 		gcfg := gnutella.DefaultConfig()
-		gcfg.BiasJoin = true
 		gcfg.ExternalPerNode = ext
-		ov := gnutella.New(transport.New(net, k), gcfg, src.Stream("overlay"))
-		ov.Oracle = oracle.New(net)
+		ov := gnutella.New(transport.New(net, k), core.NewOracleSelector(net, true, false),
+			gcfg, src.Stream("overlay"))
 		for _, h := range net.Hosts() {
 			ov.AddNode(h, true)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"unap2p/internal/core"
 	"unap2p/internal/overlay/brocade"
 	"unap2p/internal/overlay/kademlia"
 	"unap2p/internal/resources"
@@ -32,7 +33,7 @@ func runBrocade(cfg RunConfig) Result {
 
 	// Flat overlay: a Kademlia DHT; delivering to a node = iterative
 	// lookup of its ID, every RPC potentially wide-area.
-	d := kademlia.New(transport.Over(net), kademlia.DefaultConfig(), src.Stream("dht"))
+	d := kademlia.New(transport.Over(net), nil, kademlia.DefaultConfig(), src.Stream("dht"))
 	nodeOf := map[underlay.HostID]*kademlia.Node{}
 	for _, h := range hosts {
 		nodeOf[h.ID] = d.AddNode(h)
@@ -40,7 +41,7 @@ func runBrocade(cfg RunConfig) Result {
 	d.Bootstrap(4)
 
 	// Landmark overlay over the same population.
-	b := brocade.Build(transport.Over(net), table, hosts)
+	b := brocade.Build(transport.Over(net), &core.ResourceSelector{Table: table}, hosts)
 
 	// The same cross-domain message workload through both.
 	probe := src.Stream("probe")

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"unap2p/internal/core"
 	"unap2p/internal/metrics"
-	"unap2p/internal/oracle"
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
@@ -58,12 +58,11 @@ func buildGnutella(cfg RunConfig, variant string, hostcache int, biasJoin, biasS
 	gcfg.HostcacheSize = hostcache
 	gcfg.PingTTL = 3
 	gcfg.QueryTTL = 3
-	gcfg.BiasJoin = biasJoin
-	gcfg.BiasSource = biasSource
-	ov := gnutella.New(transport.New(net, k), gcfg, src.Stream("overlay"))
+	var sel core.Selector
 	if biasJoin || biasSource {
-		ov.Oracle = oracle.New(net)
+		sel = core.NewOracleSelector(net, biasJoin, biasSource)
 	}
+	ov := gnutella.New(transport.New(net, k), sel, gcfg, src.Stream("overlay"))
 	ov.Catalog = catalog
 	for _, h := range hosts {
 		ov.AddNode(h, true)

@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"unap2p/internal/coords"
+	"unap2p/internal/core"
 	"unap2p/internal/geo"
 	"unap2p/internal/metrics"
 	"unap2p/internal/resources"
@@ -167,41 +167,29 @@ func buildImpactScenario(cfg RunConfig) *impactScenario {
 	}
 }
 
-// rankerFor returns the strategy's peer-ranking function (nil = random
-// order, i.e. the unaware baseline).
-func (s *impactScenario) rankerFor(kind string) func(c *underlay.Host, peers []underlay.HostID) []underlay.HostID {
-	byCost := func(cost func(c, p *underlay.Host) float64) func(*underlay.Host, []underlay.HostID) []underlay.HostID {
-		return func(c *underlay.Host, peers []underlay.HostID) []underlay.HostID {
-			out := append([]underlay.HostID(nil), peers...)
-			sort.SliceStable(out, func(i, j int) bool {
-				return cost(c, s.net.Host(out[i])) < cost(c, s.net.Host(out[j]))
-			})
-			return out
-		}
-	}
+// selectorFor returns the strategy's selector (nil = random order, i.e.
+// the unaware baseline). Each kind is one of the framework's stock
+// single-estimator selectors with the score cache enabled — the exact
+// composition the overlays consume.
+func (s *impactScenario) selectorFor(kind string) core.Selector {
+	var es *core.EngineSelector
 	switch kind {
 	case "isp-location":
-		return byCost(func(c, p *underlay.Host) float64 {
-			return float64(s.net.ASHops(c.AS.ID, p.AS.ID))
-		})
+		es = core.ASHopSelector(s.net)
 	case "latency":
 		// Explicit measurement (§3.2): precise per-pair RTT at probe
 		// cost. The Vivaldi field (s.vs) provides the cheap predictive
 		// variant, compared against this in the ablation benches.
-		return byCost(func(c, p *underlay.Host) float64 {
-			return float64(s.net.RTT(c, p))
-		})
+		es = core.RTTSelector(s.net)
 	case "geolocation":
-		return byCost(func(c, p *underlay.Host) float64 {
-			return geo.Haversine(geo.Coord{Lat: c.Lat, Lon: c.Lon}, geo.Coord{Lat: p.Lat, Lon: p.Lon})
-		})
+		es = core.GeoDistanceSelector(s.net)
 	case "peer-resources":
-		return byCost(func(c, p *underlay.Host) float64 {
-			return -s.table.Get(p.ID).Score()
-		})
+		es = core.CapacitySelector(s.net, s.table)
 	default:
 		return nil
 	}
+	es.E.EnableCache(core.CacheConfig{Capacity: 8192})
+	return es
 }
 
 // pathUsesTransit reports whether the routed path between two ASes
@@ -240,7 +228,7 @@ func (s *impactScenario) transitBytes() uint64 {
 func (s *impactScenario) run(kind string, seed int64) impactMeasures {
 	r := sim.NewSource(seed).Fork("impact-run-" + kind).Stream("churn")
 	transitBefore := s.transitBytes()
-	ranker := s.rankerFor(kind)
+	sel := s.selectorFor(kind)
 	data := metrics.NewTrafficMatrix()
 	var m impactMeasures
 	dl := metrics.NewDist()
@@ -280,8 +268,10 @@ func (s *impactScenario) run(kind string, seed int64) impactMeasures {
 			}
 		}
 		ranked := cands
-		if ranker != nil {
-			ranked = ranker(client, cands)
+		if sel != nil {
+			if rr, ok := sel.Rank(client, cands); ok {
+				ranked = rr
+			}
 		}
 		for i := 0; i < 3; i++ {
 			rttSum += float64(s.net.RTT(client, s.net.Host(ranked[i])))
@@ -305,8 +295,10 @@ func (s *impactScenario) run(kind string, seed int64) impactMeasures {
 		// cost ties), as deployed selectors do for load spreading.
 		ranked := append([]underlay.HostID(nil), holders...)
 		r.Shuffle(len(ranked), func(i, j int) { ranked[i], ranked[j] = ranked[j], ranked[i] })
-		if ranker != nil {
-			ranked = ranker(client, ranked)
+		if sel != nil {
+			if rr, ok := sel.Rank(client, ranked); ok {
+				ranked = rr
+			}
 		}
 		// Download with up to 3 attempts under availability churn: a
 		// source may be offline when contacted (probability from its

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"unap2p/internal/core"
 	"unap2p/internal/metrics"
-	"unap2p/internal/oracle"
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
@@ -32,11 +32,11 @@ func runTopologyMatching(cfg RunConfig) Result {
 		k := sim.NewKernel()
 		gcfg := gnutella.DefaultConfig()
 		gcfg.HostcacheSize = 300
-		gcfg.BiasJoin = bias
-		ov := gnutella.New(transport.New(net, k), gcfg, src.Stream("overlay"))
+		var sel core.Selector
 		if bias {
-			ov.Oracle = oracle.New(net)
+			sel = core.NewOracleSelector(net, true, false)
 		}
+		ov := gnutella.New(transport.New(net, k), sel, gcfg, src.Stream("overlay"))
 		for _, h := range net.Hosts() {
 			ov.AddNode(h, true)
 		}

@@ -194,7 +194,7 @@ func runAblPongCache(cfg RunConfig) Result {
 		gcfg.PongCache = cached
 		gcfg.PongCacheSize = 10
 		gcfg.HostcacheSize = 1000
-		ov := gnutella.New(transport.New(net, k), gcfg, src.Stream("overlay"))
+		ov := gnutella.New(transport.New(net, k), nil, gcfg, src.Stream("overlay"))
 		for _, h := range net.Hosts() {
 			ov.AddNode(h, true)
 		}

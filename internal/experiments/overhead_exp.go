@@ -4,6 +4,7 @@ import (
 	"unap2p/internal/cdn"
 	"unap2p/internal/core"
 	"unap2p/internal/sim"
+	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -27,6 +28,11 @@ func runOverhead(cfg RunConfig) Result {
 	net, ests := buildEstimators(cfg)
 	hosts := net.Hosts()
 	pickRand := sim.NewSource(cfg.Seed).Fork("overhead").Stream("picks")
+	// One transport counter set for every technique: RouteOverhead charges
+	// each engine's collection cost to "awareness:<method>" counters here,
+	// next to where protocol traffic would be counted — the unified
+	// accounting the §5.4 open issue asks for.
+	tr := transport.Over(net)
 
 	// Fixed evaluation workload: 80 (client, 25-candidate) selection
 	// problems; every technique ranks the same sets.
@@ -64,19 +70,19 @@ func runOverhead(cfg RunConfig) Result {
 	for _, est := range ests {
 		est := est
 		bytesBefore := net.Traffic.Total()
-		overheadBefore := est.Overhead()
+		counter := core.OverheadCounterName(est.Method())
+		countBefore := tr.Counters().Value(counter)
+		// Each technique becomes a single-estimator engine driving the
+		// selector's source-selection verb — the same composition the
+		// overlays consume, so the overhead measured here is the overhead
+		// they actually incur. The miss penalty keeps pairs the technique
+		// cannot answer from ever beating a real estimate.
+		eng := core.NewEngine().Add(est, 1)
+		eng.MissPenalty = 1e18
+		eng.RouteOverhead(tr.Counters())
+		sel := core.NewEngineSelector(eng, net)
 		rtt := evalRTT(func(p problem) underlay.HostID {
-			best := p.cands[0]
-			bestCost := 1e18
-			for _, c := range p.cands {
-				cost, ok := est.Estimate(p.client, net.Host(c))
-				if !ok {
-					continue
-				}
-				if cost < bestCost {
-					best, bestCost = c, cost
-				}
-			}
+			best, _ := sel.SelectSource(p.client, p.cands)
 			return best
 		})
 		name := est.Method().String()
@@ -94,7 +100,7 @@ func runOverhead(cfg RunConfig) Result {
 		}
 		res.Rows = append(res.Rows, []string{
 			name,
-			d(est.Overhead() - overheadBefore + overheadSetup(est)),
+			d(tr.Counters().Value(counter) - countBefore + overheadSetup(est)),
 			d(net.Traffic.Total() - bytesBefore),
 			f1(rtt),
 			pct((randomRTT - rtt) / randomRTT),

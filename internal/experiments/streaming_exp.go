@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"unap2p/internal/core"
 	"unap2p/internal/overlay/chord"
 	"unap2p/internal/overlay/streaming"
 	"unap2p/internal/resources"
@@ -35,8 +36,8 @@ func runStreaming(cfg RunConfig) Result {
 		topology.PlaceHosts(net, cfg.scaled(14), false, 1, 5, src.Stream("place"))
 		table := resources.GenerateAll(net, src.Stream("res"))
 		scfg := streaming.DefaultConfig()
-		scfg.Aware = aware
-		m := streaming.NewMesh(transport.Over(net), table, net.Hosts()[0], scfg, src.Stream("mesh"))
+		sel := &core.ResourceSelector{Table: table, WeightParents: aware}
+		m := streaming.NewMesh(transport.Over(net), sel, net.Hosts()[0], scfg, src.Stream("mesh"))
 		for _, h := range net.Hosts()[1:] {
 			m.AddViewer(h)
 		}
@@ -79,8 +80,11 @@ func runChordPNS(cfg RunConfig) Result {
 		})
 		topology.PlaceHosts(net, cfg.scaled(12), false, 1, 6, src.Stream("place"))
 		ccfg := chord.DefaultConfig()
-		ccfg.PNS = pns
-		ring := chord.New(transport.Over(net), ccfg, src.Stream("ring"))
+		var sel core.Selector
+		if pns {
+			sel = core.RTTSelector(net)
+		}
+		ring := chord.New(transport.Over(net), sel, ccfg, src.Stream("ring"))
 		for _, h := range net.Hosts() {
 			ring.AddNode(h)
 		}

@@ -5,7 +5,7 @@ import (
 
 	"unap2p/internal/churn"
 	"unap2p/internal/coords"
-	"unap2p/internal/geo"
+	"unap2p/internal/core"
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/overlay/gsh"
 	"unap2p/internal/overlay/kademlia"
@@ -39,7 +39,7 @@ func runGSHLeopard(cfg RunConfig) Result {
 	src := sim.NewSource(cfg.Seed).Fork("gsh")
 	net := topology.Star(8, topology.DefaultConfig())
 	hosts := topology.PlaceHosts(net, cfg.scaled(35), false, 1, 5, src.Stream("place"))
-	o := gsh.New(transport.Over(net), gsh.DefaultConfig())
+	o := gsh.New(transport.Over(net), core.GeoSelector{}, gsh.DefaultConfig())
 	for _, h := range hosts {
 		o.Join(h)
 	}
@@ -147,7 +147,7 @@ func runSuperPeer(cfg RunConfig) Result {
 
 		k := sim.NewKernel()
 		gcfg := gnutella.DefaultConfig()
-		ov := gnutella.New(transport.New(net, k), gcfg, src.Stream("overlay"))
+		ov := gnutella.New(transport.New(net, k), nil, gcfg, src.Stream("overlay"))
 		ov.SettleTime = 2 * sim.Second
 		for _, h := range hosts {
 			ov.AddNode(h, ultra[h.ID])
@@ -248,14 +248,12 @@ func runAblPNSMetric(cfg RunConfig) Result {
 		vidx[h.ID] = i
 	}
 
-	run := func(name string, pns bool, prox func(a, b *underlay.Host) float64) (float64, float64) {
+	run := func(name string, sel core.Selector) (float64, float64) {
 		kcfg := kademlia.DefaultConfig()
 		// Small buckets overflow often, so the replacement policy (where
 		// PNS acts) decides most table entries.
 		kcfg.K = 4
-		kcfg.PNS = pns
-		kcfg.Proximity = prox
-		d := kademlia.New(transport.Over(net), kcfg, sim.NewSource(cfg.Seed).Fork("dht-"+name).Stream("dht"))
+		d := kademlia.New(transport.Over(net), sel, kcfg, sim.NewSource(cfg.Seed).Fork("dht-"+name).Stream("dht"))
 		for _, h := range hosts {
 			d.AddNode(h)
 		}
@@ -272,22 +270,24 @@ func runAblPNSMetric(cfg RunConfig) Result {
 		return lat / float64(n), hops / float64(n)
 	}
 
-	plainLat, plainHops := run("plain", false, nil)
+	plainLat, plainHops := run("plain", nil)
 	res.Rows = append(res.Rows, []string{"none (plain Kademlia)", f1(plainLat), f2(plainHops), "—"})
 	variants := []struct {
 		name string
-		prox func(a, b *underlay.Host) float64
+		sel  *core.EngineSelector
 	}{
-		{"explicit RTT", nil},
-		{"Vivaldi prediction", func(a, b *underlay.Host) float64 {
-			return vs.Predict(vidx[a.ID], vidx[b.ID])
-		}},
-		{"geolocation distance", func(a, b *underlay.Host) float64 {
-			return geo.Haversine(geo.Coord{Lat: a.Lat, Lon: a.Lon}, geo.Coord{Lat: b.Lat, Lon: b.Lon})
-		}},
+		{"explicit RTT", core.RTTSelector(net)},
+		{"Vivaldi prediction", core.FuncSelector(net, core.Latency, core.PredictionMethod,
+			func(a, b *underlay.Host) (float64, bool) {
+				return vs.Predict(vidx[a.ID], vidx[b.ID]), true
+			})},
+		{"geolocation distance", core.GeoDistanceSelector(net)},
 	}
 	for _, v := range variants {
-		lat, hops := run(v.name, true, v.prox)
+		// Memoize the pure proximity scores; invisible to results, cheaper
+		// on repeated pair lookups during bucket replacement.
+		v.sel.E.EnableCache(core.CacheConfig{Capacity: 4096})
+		lat, hops := run(v.name, v.sel)
 		res.Rows = append(res.Rows, []string{
 			v.name, f1(lat), f2(hops), pct((plainLat - lat) / plainLat),
 		})

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"unap2p/internal/core"
 	"unap2p/internal/geo"
 	"unap2p/internal/overlay/bittorrent"
 	"unap2p/internal/overlay/geotree"
@@ -45,8 +46,11 @@ func runBNSSwarm(cfg RunConfig) Result {
 		topology.PlaceHosts(net, cfg.scaled(14), false, 1, 6, src.Stream("place"))
 		scfg := bittorrent.DefaultConfig()
 		scfg.Pieces = cfg.scaled(48)
-		scfg.Biased = biased
-		s := bittorrent.NewSwarm(transport.Over(net), scfg, src.Stream("swarm"))
+		var sel core.Selector
+		if biased {
+			sel = core.ASHopSelector(net)
+		}
+		s := bittorrent.NewSwarm(transport.Over(net), sel, scfg, src.Stream("swarm"))
 		for i, h := range net.Hosts() {
 			if i%40 == 0 {
 				s.AddSeed(h)
@@ -94,8 +98,13 @@ func runPNSKademlia(cfg RunConfig) Result {
 		net := topology.TransitStub(tcfg)
 		topology.PlaceHosts(net, cfg.scaled(12), false, 1, 6, src.Stream("place"))
 		kcfg := kademlia.DefaultConfig()
-		kcfg.PNS = pns
-		d := kademlia.New(transport.Over(net), kcfg, src.Stream("dht"))
+		var sel core.Selector
+		if pns {
+			rtt := core.RTTSelector(net)
+			rtt.E.EnableCache(core.CacheConfig{Capacity: 4096})
+			sel = rtt
+		}
+		d := kademlia.New(transport.Over(net), sel, kcfg, src.Stream("dht"))
 		for _, h := range net.Hosts() {
 			d.AddNode(h)
 		}
@@ -140,7 +149,7 @@ func runGeoSearch(cfg RunConfig) Result {
 	src := sim.NewSource(cfg.Seed).Fork("geosearch")
 	net := topology.Star(8, topology.DefaultConfig())
 	topology.PlaceHosts(net, cfg.scaled(40), false, 1, 5, src.Stream("place"))
-	tr := geotree.New(transport.Over(net), geotree.DefaultConfig())
+	tr := geotree.New(transport.Over(net), core.GeoSelector{}, geotree.DefaultConfig())
 	for _, h := range net.Hosts() {
 		tr.Insert(h)
 	}

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"unap2p/internal/oracle"
+	"unap2p/internal/core"
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
@@ -76,12 +76,11 @@ func runTestlabOnce(kind string, biased bool, uniform bool, seed int64) testlabO
 	gcfg.LeafParents = 1
 	gcfg.HostcacheSize = 20
 	gcfg.QueryTTL = 5 // small network: floods cover it, as in the testlab
-	gcfg.BiasJoin = biased
-	gcfg.BiasSource = biased
-	ov := gnutella.New(transport.New(net, k), gcfg, src.Stream("overlay"))
+	var sel core.Selector
 	if biased {
-		ov.Oracle = oracle.New(net)
+		sel = core.NewOracleSelector(net, true, true)
 	}
+	ov := gnutella.New(transport.New(net, k), sel, gcfg, src.Stream("overlay"))
 	for i, h := range hosts {
 		ov.AddNode(h, ultra[i])
 	}

@@ -28,7 +28,7 @@ func TestGnutellaUnderLoss(t *testing.T) {
 	net, hosts, src := buildWorld(3, 10)
 	k := sim.NewKernel()
 	tr := lossy(net, k, src)
-	ov := gnutella.New(tr, gnutella.DefaultConfig(), src.Stream("overlay"))
+	ov := gnutella.New(tr, nil, gnutella.DefaultConfig(), src.Stream("overlay"))
 	for _, h := range hosts {
 		ov.AddNode(h, true)
 	}
@@ -63,7 +63,7 @@ func TestKademliaUnderLoss(t *testing.T) {
 	net, hosts, src := buildWorld(4, 8)
 	tr := lossy(net, nil, src)
 	tr.Retries = 2
-	d := kademlia.New(tr, kademlia.DefaultConfig(), src.Stream("dht"))
+	d := kademlia.New(tr, nil, kademlia.DefaultConfig(), src.Stream("dht"))
 	for _, h := range hosts {
 		d.AddNode(h)
 	}
@@ -96,7 +96,7 @@ func TestBitTorrentUnderLoss(t *testing.T) {
 	tr := lossy(net, nil, src)
 	cfg := bittorrent.DefaultConfig()
 	cfg.Pieces = 32
-	s := bittorrent.NewSwarm(tr, cfg, src.Stream("swarm"))
+	s := bittorrent.NewSwarm(tr, nil, cfg, src.Stream("swarm"))
 	s.AddSeed(hosts[0])
 	for _, h := range hosts[1:] {
 		s.AddLeecher(h)
@@ -137,7 +137,7 @@ func (f *fakeMessenger) RoundTrip(from, to *underlay.Host, reqBytes, respBytes u
 func TestFakeTransportInjection(t *testing.T) {
 	net, hosts, src := buildWorld(6, 6)
 	fake := &fakeMessenger{Transport: transport.Over(net)}
-	d := kademlia.New(fake, kademlia.DefaultConfig(), src.Stream("dht"))
+	d := kademlia.New(fake, nil, kademlia.DefaultConfig(), src.Stream("dht"))
 	for _, h := range hosts[:20] {
 		d.AddNode(h)
 	}

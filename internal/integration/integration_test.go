@@ -42,7 +42,7 @@ func TestGnutellaUnderChurn(t *testing.T) {
 	net, hosts, src := buildWorld(1, 10)
 	k := sim.NewKernel()
 	cfg := gnutella.DefaultConfig()
-	ov := gnutella.New(transport.New(net, k), cfg, src.Stream("overlay"))
+	ov := gnutella.New(transport.New(net, k), nil, cfg, src.Stream("overlay"))
 	// The churn driver keeps the kernel's queue non-empty forever, so
 	// searches must settle on a time bound rather than drain.
 	ov.SettleTime = 2 * sim.Second
@@ -106,7 +106,7 @@ func TestGnutellaUnderChurn(t *testing.T) {
 func TestChurnRejoinRestoresDegree(t *testing.T) {
 	net, hosts, src := buildWorld(2, 8)
 	k := sim.NewKernel()
-	ov := gnutella.New(transport.New(net, k), gnutella.DefaultConfig(), src.Stream("overlay"))
+	ov := gnutella.New(transport.New(net, k), nil, gnutella.DefaultConfig(), src.Stream("overlay"))
 	for _, h := range hosts {
 		ov.AddNode(h, true)
 	}
@@ -129,10 +129,9 @@ func TestOracleOutageMidRun(t *testing.T) {
 	net, hosts, src := buildWorld(3, 8)
 	k := sim.NewKernel()
 	cfg := gnutella.DefaultConfig()
-	cfg.BiasJoin = true
-	ov := gnutella.New(transport.New(net, k), cfg, src.Stream("overlay"))
-	orc := oracle.New(net)
-	ov.Oracle = orc
+	sel := core.NewOracleSelector(net, true, false)
+	orc := sel.O
+	ov := gnutella.New(transport.New(net, k), sel, cfg, src.Stream("overlay"))
 	for _, h := range hosts {
 		ov.AddNode(h, true)
 	}
@@ -163,12 +162,11 @@ func TestBillingFollowsBias(t *testing.T) {
 		net, hosts, src := buildWorld(4, 10)
 		k := sim.NewKernel()
 		cfg := gnutella.DefaultConfig()
-		cfg.BiasJoin = bias
-		cfg.BiasSource = bias
-		ov := gnutella.New(transport.New(net, k), cfg, src.Stream("overlay"))
+		var sel core.Selector
 		if bias {
-			ov.Oracle = oracle.New(net)
+			sel = core.NewOracleSelector(net, true, true)
 		}
+		ov := gnutella.New(transport.New(net, k), sel, cfg, src.Stream("overlay"))
 		for _, h := range hosts {
 			ov.AddNode(h, true)
 		}
@@ -210,7 +208,7 @@ func TestEngineDrivesSwarmTracker(t *testing.T) {
 
 	cfg := bittorrent.DefaultConfig()
 	cfg.Pieces = 24
-	s := bittorrent.NewSwarm(transport.Over(net), cfg, src.Stream("swarm"))
+	s := bittorrent.NewSwarm(transport.Over(net), core.ASHopSelector(net), cfg, src.Stream("swarm"))
 	for i, h := range hosts {
 		if i == 0 {
 			s.AddSeed(h)
@@ -246,8 +244,7 @@ func TestEngineDrivesSwarmTracker(t *testing.T) {
 	if frac < 0.5 {
 		t.Fatalf("engine neighbor locality %.3f too low", frac)
 	}
-	// And the built-in biased tracker agrees directionally.
-	s.Cfg.Biased = true
+	// And the selector-driven tracker agrees directionally.
 	s.AssignNeighbors()
 	if mix := s.NeighborASMix(); mix < 0.3 {
 		t.Fatalf("tracker locality %.3f too low", mix)
@@ -351,9 +348,8 @@ func TestMobilityRefreshesOverlay(t *testing.T) {
 	net, hosts, src := buildWorld(8, 8)
 	k := sim.NewKernel()
 	cfg := gnutella.DefaultConfig()
-	cfg.BiasJoin = true
-	ov := gnutella.New(transport.New(net, k), cfg, src.Stream("overlay"))
-	ov.Oracle = oracle.New(net)
+	ov := gnutella.New(transport.New(net, k), core.NewOracleSelector(net, true, false),
+		cfg, src.Stream("overlay"))
 	for _, h := range hosts {
 		ov.AddNode(h, true)
 	}

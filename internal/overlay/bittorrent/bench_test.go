@@ -17,7 +17,7 @@ func BenchmarkSwarmRound(b *testing.B) {
 	})
 	topology.PlaceHosts(net, 14, false, 1, 5, src.Stream("place"))
 	cfg := DefaultConfig()
-	s := NewSwarm(transport.Over(net), cfg, src.Stream("swarm"))
+	s := NewSwarm(transport.Over(net), nil, cfg, src.Stream("swarm"))
 	for i, h := range net.Hosts() {
 		if i == 0 {
 			s.AddSeed(h)
@@ -43,7 +43,7 @@ func BenchmarkFullSwarm(b *testing.B) {
 		topology.PlaceHosts(net, 8, false, 1, 5, src.Stream("place"))
 		cfg := DefaultConfig()
 		cfg.Pieces = 16
-		s := NewSwarm(transport.Over(net), cfg, src.Stream("swarm"))
+		s := NewSwarm(transport.Over(net), nil, cfg, src.Stream("swarm"))
 		for j, h := range net.Hosts() {
 			if j == 0 {
 				s.AddSeed(h)

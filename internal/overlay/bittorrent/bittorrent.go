@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"unap2p/internal/core"
 	"unap2p/internal/metrics"
 	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
@@ -27,8 +28,6 @@ type Config struct {
 	// UploadSlots is how many pieces a peer can upload per round (the
 	// unchoked-connections abstraction).
 	UploadSlots int
-	// Biased enables biased neighbor selection at the tracker.
-	Biased bool
 	// External is the number of out-of-AS neighbors a biased peer keeps
 	// (Bindal et al. use k = 1; 35-k internal).
 	External int
@@ -80,14 +79,19 @@ type Swarm struct {
 
 	peers []*Peer
 	r     *rand.Rand
+	sel   core.Selector
 }
 
-// NewSwarm creates an empty swarm sending through tr.
-func NewSwarm(tr transport.Messenger, cfg Config, r *rand.Rand) *Swarm {
+// NewSwarm creates an empty swarm sending through tr. A non-nil selector
+// turns on Bindal-style biased neighbor selection at the tracker: peers
+// the selector's Proximity verb puts at cost 0 (same ISP) are preferred,
+// with Cfg.External random out-of-ISP links as the connectivity
+// safeguard. A nil selector runs the classic random tracker.
+func NewSwarm(tr transport.Messenger, sel core.Selector, cfg Config, r *rand.Rand) *Swarm {
 	if cfg.Pieces < 1 || cfg.PeerSet < 1 || cfg.UploadSlots < 1 {
 		panic("bittorrent: invalid config")
 	}
-	return &Swarm{T: tr, U: tr.Underlay(), Cfg: cfg, PieceTraffic: tr.MatrixFor("piece"), r: r}
+	return &Swarm{T: tr, U: tr.Underlay(), Cfg: cfg, PieceTraffic: tr.MatrixFor("piece"), r: r, sel: sel}
 }
 
 // AddSeed joins a host holding the full file.
@@ -144,7 +148,7 @@ func (s *Swarm) AssignNeighbors() {
 		b.neighbors = append(b.neighbors, a)
 	}
 	for _, p := range s.peers {
-		if !s.Cfg.Biased {
+		if s.sel == nil {
 			perm := s.r.Perm(len(s.peers))
 			for _, idx := range perm {
 				if len(p.neighbors) >= s.Cfg.PeerSet {
@@ -154,13 +158,13 @@ func (s *Swarm) AssignNeighbors() {
 			}
 			continue
 		}
-		// Biased: internal first.
+		// Biased: internal (selector proximity cost 0 — same ISP) first.
 		var internal, external []*Peer
 		for _, q := range s.peers {
 			if q == p {
 				continue
 			}
-			if q.Host.AS.ID == p.Host.AS.ID {
+			if cost, ok := s.sel.Proximity(p.Host, q.Host); ok && cost == 0 {
 				internal = append(internal, q)
 			} else {
 				external = append(external, q)

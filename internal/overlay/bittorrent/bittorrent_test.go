@@ -3,6 +3,7 @@ package bittorrent
 import (
 	"testing"
 
+	"unap2p/internal/core"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
 	"unap2p/internal/transport"
@@ -10,8 +11,9 @@ import (
 )
 
 // buildSwarm: 6 stub ASes, hostsPerAS hosts each, one seed in AS of
-// host 0, rest leechers.
-func buildSwarm(t *testing.T, hostsPerAS int, cfg Config, seed int64) (*underlay.Network, *Swarm) {
+// host 0, rest leechers. biased installs an AS-hop selector at the
+// tracker (Bindal-style biased neighbor selection).
+func buildSwarm(t *testing.T, hostsPerAS int, biased bool, cfg Config, seed int64) (*underlay.Network, *Swarm) {
 	t.Helper()
 	src := sim.NewSource(seed)
 	tcfg := topology.TransitStubConfig{
@@ -21,7 +23,11 @@ func buildSwarm(t *testing.T, hostsPerAS int, cfg Config, seed int64) (*underlay
 	}
 	net := topology.TransitStub(tcfg)
 	topology.PlaceHosts(net, hostsPerAS, false, 1, 5, src.Stream("place"))
-	s := NewSwarm(transport.Over(net), cfg, src.Stream("swarm"))
+	var sel core.Selector
+	if biased {
+		sel = core.ASHopSelector(net)
+	}
+	s := NewSwarm(transport.Over(net), sel, cfg, src.Stream("swarm"))
 	for i, h := range net.Hosts() {
 		if i == 0 {
 			s.AddSeed(h)
@@ -34,7 +40,7 @@ func buildSwarm(t *testing.T, hostsPerAS int, cfg Config, seed int64) (*underlay
 }
 
 func TestSeedAndLeecherState(t *testing.T) {
-	_, s := buildSwarm(t, 5, DefaultConfig(), 1)
+	_, s := buildSwarm(t, 5, false, DefaultConfig(), 1)
 	seed := s.Peers()[0]
 	if !seed.Complete() || seed.CompletedRound != 0 {
 		t.Fatal("seed not complete")
@@ -51,7 +57,7 @@ func TestSeedAndLeecherState(t *testing.T) {
 func TestSwarmCompletes(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Pieces = 32
-	_, s := buildSwarm(t, 5, cfg, 2)
+	_, s := buildSwarm(t, 5, false, cfg, 2)
 	rounds := s.Run(10000)
 	st := s.Stats()
 	if st.Unfinished != 0 {
@@ -71,10 +77,9 @@ func TestBiasedTrackerRaisesNeighborLocality(t *testing.T) {
 	// ASes large enough (15 hosts) that the internal budget (PeerSet −
 	// External = 11) can actually be met.
 	cfgU := DefaultConfig()
-	_, su := buildSwarm(t, 15, cfgU, 3)
+	_, su := buildSwarm(t, 15, false, cfgU, 3)
 	cfgB := DefaultConfig()
-	cfgB.Biased = true
-	_, sb := buildSwarm(t, 15, cfgB, 3)
+	_, sb := buildSwarm(t, 15, true, cfgB, 3)
 	mu, mb := su.NeighborASMix(), sb.NeighborASMix()
 	if mb <= mu {
 		t.Fatalf("biased neighbor locality %.3f not above unbiased %.3f", mb, mu)
@@ -91,8 +96,7 @@ func TestBindalShape(t *testing.T) {
 	run := func(biased bool) Stats {
 		cfg := DefaultConfig()
 		cfg.Pieces = 32
-		cfg.Biased = biased
-		_, s := buildSwarm(t, 6, cfg, 4)
+		_, s := buildSwarm(t, 6, biased, cfg, 4)
 		s.Run(10000)
 		return s.Stats()
 	}
@@ -115,7 +119,7 @@ func TestBindalShape(t *testing.T) {
 func TestPeerSetSizeRespected(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.PeerSet = 6
-	_, s := buildSwarm(t, 5, cfg, 5)
+	_, s := buildSwarm(t, 5, false, cfg, 5)
 	for _, p := range s.Peers() {
 		// Symmetric connections can push a peer modestly above its own
 		// budget (it accepts inbound), but the graph stays bounded.
@@ -131,7 +135,7 @@ func TestPeerSetSizeRespected(t *testing.T) {
 func TestRarestFirstSpreadsPieces(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Pieces = 16
-	_, s := buildSwarm(t, 4, cfg, 6)
+	_, s := buildSwarm(t, 4, false, cfg, 6)
 	// After a few rounds, distinct pieces should be in flight, not just
 	// piece 0 (rarest-first de-correlates).
 	for i := 0; i < 6; i++ {
@@ -153,7 +157,7 @@ func TestRarestFirstSpreadsPieces(t *testing.T) {
 func TestOfflinePeersSkipped(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Pieces = 16
-	net, s := buildSwarm(t, 4, cfg, 7)
+	net, s := buildSwarm(t, 4, false, cfg, 7)
 	// Kill a third of the leechers.
 	for i, h := range net.Hosts() {
 		if i > 0 && i%3 == 0 {
@@ -175,8 +179,7 @@ func TestDeterministicSwarm(t *testing.T) {
 	run := func() (float64, uint64) {
 		cfg := DefaultConfig()
 		cfg.Pieces = 24
-		cfg.Biased = true
-		_, s := buildSwarm(t, 5, cfg, 8)
+		_, s := buildSwarm(t, 5, true, cfg, 8)
 		s.Run(10000)
 		st := s.Stats()
 		return st.MeanCompletionRound, st.InterASBytes
@@ -189,7 +192,7 @@ func TestDeterministicSwarm(t *testing.T) {
 }
 
 func TestAddPeerPanicsOnDuplicate(t *testing.T) {
-	net, s := buildSwarm(t, 4, DefaultConfig(), 9)
+	net, s := buildSwarm(t, 4, false, DefaultConfig(), 9)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -204,5 +207,5 @@ func TestNewSwarmPanicsOnBadConfig(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	NewSwarm(nil, Config{}, nil)
+	NewSwarm(nil, nil, Config{}, nil)
 }

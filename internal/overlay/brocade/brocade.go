@@ -11,8 +11,8 @@ import (
 	"fmt"
 	"sort"
 
+	"unap2p/internal/core"
 	"unap2p/internal/metrics"
-	"unap2p/internal/resources"
 	"unap2p/internal/sim"
 	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
@@ -33,11 +33,13 @@ type Overlay struct {
 	members    map[underlay.HostID]bool
 }
 
-// Build elects one supernode per AS that has members: the member with the
-// highest capacity score (Brocade chooses "supernodes with significant
-// processing power and network bandwidth" near the wide-area access
-// point). Ties break on host id for determinism.
-func Build(tr transport.Messenger, table *resources.Table, members []*underlay.Host) *Overlay {
+// Build elects one supernode per AS that has members via the selector's
+// ElectSuperPeer verb — the member with the highest capacity score
+// (Brocade chooses "supernodes with significant processing power and
+// network bandwidth" near the wide-area access point). Ties break on
+// host id for determinism. A nil selector (or one with no election
+// preference) takes the lowest-id member of each AS.
+func Build(tr transport.Messenger, sel core.Selector, members []*underlay.Host) *Overlay {
 	if len(members) == 0 {
 		panic("brocade: no members")
 	}
@@ -49,20 +51,27 @@ func Build(tr transport.Messenger, table *resources.Table, members []*underlay.H
 		supernodes: make(map[int]underlay.HostID),
 		members:    make(map[underlay.HostID]bool),
 	}
-	best := map[int]underlay.HostID{}
-	bestScore := map[int]float64{}
 	sorted := append([]*underlay.Host(nil), members...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	groups := map[int][]*underlay.Host{}
+	var asOrder []int
 	for _, h := range sorted {
 		o.members[h.ID] = true
-		score := table.Get(h.ID).Score()
-		if cur, ok := best[h.AS.ID]; !ok || score > bestScore[h.AS.ID] {
-			_ = cur
-			best[h.AS.ID] = h.ID
-			bestScore[h.AS.ID] = score
+		if _, ok := groups[h.AS.ID]; !ok {
+			asOrder = append(asOrder, h.AS.ID)
 		}
+		groups[h.AS.ID] = append(groups[h.AS.ID], h)
 	}
-	o.supernodes = best
+	for _, asID := range asOrder {
+		group := groups[asID]
+		super := group[0]
+		if sel != nil {
+			if h, ok := sel.ElectSuperPeer(group); ok {
+				super = h
+			}
+		}
+		o.supernodes[asID] = super.ID
+	}
 	return o
 }
 

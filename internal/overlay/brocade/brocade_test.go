@@ -3,6 +3,7 @@ package brocade
 import (
 	"testing"
 
+	"unap2p/internal/core"
 	"unap2p/internal/resources"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
@@ -19,7 +20,7 @@ func buildBrocade(t testing.TB, seed int64) (*underlay.Network, *resources.Table
 	})
 	topology.PlaceHosts(net, 10, false, 1, 5, src.Stream("place"))
 	table := resources.GenerateAll(net, src.Stream("res"))
-	o := Build(transport.Over(net), table, net.Hosts())
+	o := Build(transport.Over(net), &core.ResourceSelector{Table: table}, net.Hosts())
 	return net, table, o
 }
 
@@ -128,7 +129,7 @@ func TestBuildPanicsOnEmpty(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	Build(transport.Over(net), table, nil)
+	Build(transport.Over(net), &core.ResourceSelector{Table: table}, nil)
 }
 
 // BenchmarkRoute measures one landmark-routed delivery.

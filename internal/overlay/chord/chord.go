@@ -13,9 +13,11 @@ package chord
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
+	"unap2p/internal/core"
 	"unap2p/internal/metrics"
 	"unap2p/internal/sim"
 	"unap2p/internal/transport"
@@ -27,9 +29,6 @@ type ID uint64
 
 // Config tunes the ring.
 type Config struct {
-	// PNS fills each finger with the lowest-RTT node of the finger's
-	// interval instead of the interval's first node.
-	PNS bool
 	// SuccessorList is the number of immediate successors kept (fault
 	// tolerance and final-hop candidates).
 	SuccessorList int
@@ -63,14 +62,18 @@ type Ring struct {
 
 	nodes []*Node // sorted by ID
 	r     *rand.Rand
+	sel   core.Selector
 }
 
-// New creates an empty ring sending through tr.
-func New(tr transport.Messenger, cfg Config, r *rand.Rand) *Ring {
+// New creates an empty ring sending through tr. A non-nil selector turns
+// on proximity-selected fingers: each finger slot keeps the candidate the
+// selector's Proximity verb calls closest (core.RTTSelector for Castro et
+// al.'s RTT-based PNS). A nil selector builds the classic table.
+func New(tr transport.Messenger, sel core.Selector, cfg Config, r *rand.Rand) *Ring {
 	if cfg.SuccessorList < 1 {
 		panic("chord: SuccessorList must be ≥ 1")
 	}
-	return &Ring{T: tr, U: tr.Underlay(), Cfg: cfg, Msgs: tr.Counters(), r: r}
+	return &Ring{T: tr, U: tr.Underlay(), Cfg: cfg, Msgs: tr.Counters(), r: r, sel: sel}
 }
 
 // AddNode places a host on the ring with a random collision-free ID.
@@ -127,7 +130,7 @@ func (c *Ring) Build() {
 		}
 		for i := 0; i < 64; i++ {
 			start := node.ID + (ID(1) << uint(i))
-			if c.Cfg.PNS {
+			if c.sel != nil {
 				node.fingers[i] = c.closestInInterval(node, start, ID(1)<<uint(i))
 			} else {
 				f := c.successorOf(start)
@@ -140,12 +143,12 @@ func (c *Ring) Build() {
 	}
 }
 
-// closestInInterval returns the RTT-closest node whose ID lies in
+// closestInInterval returns the proximity-closest node whose ID lies in
 // [start, start+span) on the ring, or nil when the interval is empty of
 // other nodes.
 func (c *Ring) closestInInterval(from *Node, start, span ID) *Node {
 	var best *Node
-	bestRTT := sim.Forever
+	bestCost := math.MaxFloat64
 	// Iterate candidates clockwise from start while inside the interval.
 	cur := c.successorOf(start)
 	for i := 0; i < len(c.nodes); i++ {
@@ -154,8 +157,8 @@ func (c *Ring) closestInInterval(from *Node, start, span ID) *Node {
 			break
 		}
 		if cur != from {
-			if rtt := c.U.RTT(from.Host, cur.Host); rtt < bestRTT {
-				best, bestRTT = cur, rtt
+			if cost, ok := c.sel.Proximity(from.Host, cur.Host); ok && cost < bestCost {
+				best, bestCost = cur, cost
 			}
 		}
 		next := c.successorOf(cur.ID + 1)

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"unap2p/internal/core"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
 	"unap2p/internal/transport"
@@ -19,8 +20,11 @@ func buildRing(t testing.TB, nHosts int, pns bool, seed int64) (*underlay.Networ
 	})
 	topology.PlaceHosts(net, (nHosts+7)/8, false, 1, 5, src.Stream("place"))
 	cfg := DefaultConfig()
-	cfg.PNS = pns
-	ring := New(transport.Over(net), cfg, src.Stream("ring"))
+	var sel core.Selector
+	if pns {
+		sel = core.RTTSelector(net)
+	}
+	ring := New(transport.Over(net), sel, cfg, src.Stream("ring"))
 	for i, h := range net.Hosts() {
 		if i >= nHosts {
 			break
@@ -167,7 +171,7 @@ func TestValidation(t *testing.T) {
 				t.Fatal("expected panic on bad config")
 			}
 		}()
-		New(nil, Config{}, nil)
+		New(nil, nil, Config{}, nil)
 	}()
 	func() {
 		defer func() {
@@ -175,7 +179,7 @@ func TestValidation(t *testing.T) {
 				t.Fatal("expected panic on empty Build")
 			}
 		}()
-		New(transport.Over(net), DefaultConfig(), sim.NewSource(1).Stream("x")).Build()
+		New(transport.Over(net), nil, DefaultConfig(), sim.NewSource(1).Stream("x")).Build()
 	}()
 }
 

@@ -3,6 +3,7 @@ package geotree
 import (
 	"testing"
 
+	"unap2p/internal/core"
 	"unap2p/internal/geo"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
@@ -14,7 +15,7 @@ func benchTree(b *testing.B) (*Tree, geo.Coord) {
 	src := sim.NewSource(1)
 	net := topology.Star(8, topology.DefaultConfig())
 	topology.PlaceHosts(net, 40, false, 1, 5, src.Stream("place"))
-	tr := New(transport.Over(net), DefaultConfig())
+	tr := New(transport.Over(net), core.GeoSelector{}, DefaultConfig())
 	for _, h := range net.Hosts() {
 		tr.Insert(h)
 	}

@@ -10,6 +10,7 @@ package geotree
 import (
 	"fmt"
 
+	"unap2p/internal/core"
 	"unap2p/internal/geo"
 	"unap2p/internal/metrics"
 	"unap2p/internal/sim"
@@ -54,10 +55,14 @@ type Tree struct {
 
 	root  *zone
 	where map[underlay.HostID]*zone
+	sel   core.Selector
 }
 
-// New creates a tree covering the whole globe, sending through tr.
-func New(tr transport.Messenger, cfg Config) *Tree {
+// New creates a tree covering the whole globe, sending through tr. The
+// selector's Position verb supplies peer coordinates (a core.GeoSelector
+// for perfect GPS fixes; wrap it to model mapping error); a nil selector
+// — or one with no position answer — falls back to ground truth.
+func New(tr transport.Messenger, sel core.Selector, cfg Config) *Tree {
 	if cfg.SplitThreshold < 2 {
 		panic("geotree: SplitThreshold must be ≥ 2")
 	}
@@ -70,7 +75,19 @@ func New(tr transport.Messenger, cfg Config) *Tree {
 			box: geo.Box{MinLat: -90, MaxLat: 90, MinLon: -180, MaxLon: 180},
 		},
 		where: make(map[underlay.HostID]*zone),
+		sel:   sel,
 	}
+}
+
+// pos returns h's position as the selector believes it, falling back to
+// ground truth when no selector answers.
+func (t *Tree) pos(h *underlay.Host) geo.Coord {
+	if t.sel != nil {
+		if c, ok := t.sel.Position(h); ok {
+			return c
+		}
+	}
+	return geo.Coord{Lat: h.Lat, Lon: h.Lon}
 }
 
 // Size returns the number of registered peers.
@@ -83,7 +100,7 @@ func (t *Tree) Insert(h *underlay.Host) {
 	if _, dup := t.where[h.ID]; dup {
 		panic(fmt.Sprintf("geotree: host %d already registered", h.ID))
 	}
-	pos := geo.Coord{Lat: h.Lat, Lon: h.Lon}
+	pos := t.pos(h)
 	z := t.root
 	for {
 		// One register-hop message per level (client → zone supervisor).
@@ -147,7 +164,7 @@ func (t *Tree) split(z *zone) {
 	z.members = nil
 	for _, id := range members {
 		h := t.U.Host(id)
-		c := z.childFor(geo.Coord{Lat: h.Lat, Lon: h.Lon})
+		c := z.childFor(t.pos(h))
 		c.members = append(c.members, id)
 		t.where[id] = c
 		if !c.hasSuper {
@@ -210,7 +227,7 @@ func (t *Tree) SearchBox(from *underlay.Host, box geo.Box) ([]underlay.HostID, S
 		if z.children == nil {
 			for _, id := range z.members {
 				h := t.U.Host(id)
-				if h.Up && box.Contains(geo.Coord{Lat: h.Lat, Lon: h.Lon}) {
+				if h.Up && box.Contains(t.pos(h)) {
 					st.Msgs++
 					if rr := t.T.Send(h, from, t.Cfg.MsgBytes, "result"); rr.OK {
 						out = append(out, id)
@@ -241,7 +258,7 @@ func (t *Tree) NearestPeer(from *underlay.Host, pos geo.Coord) (underlay.HostID,
 			bestD := 1e18
 			for _, id := range hits {
 				h := t.U.Host(id)
-				if d := geo.Haversine(pos, geo.Coord{Lat: h.Lat, Lon: h.Lon}); d < bestD {
+				if d := geo.Haversine(pos, t.pos(h)); d < bestD {
 					best, bestD = id, d
 				}
 			}
@@ -301,7 +318,7 @@ func (t *Tree) Geocast(from *underlay.Host, box geo.Box, payloadBytes uint64) (i
 			sup := t.U.Host(z.supervisor)
 			for _, id := range z.members {
 				h := t.U.Host(id)
-				if !h.Up || !box.Contains(geo.Coord{Lat: h.Lat, Lon: h.Lon}) {
+				if !h.Up || !box.Contains(t.pos(h)) {
 					continue
 				}
 				if id == z.supervisor || id == from.ID {

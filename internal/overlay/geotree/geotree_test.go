@@ -3,6 +3,7 @@ package geotree
 import (
 	"testing"
 
+	"unap2p/internal/core"
 	"unap2p/internal/geo"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
@@ -15,7 +16,7 @@ func buildTree(t *testing.T, hostsPerAS int) (*underlay.Network, *Tree) {
 	src := sim.NewSource(1)
 	net := topology.Star(6, topology.DefaultConfig())
 	topology.PlaceHosts(net, hostsPerAS, false, 1, 3, src.Stream("place"))
-	tr := New(transport.Over(net), DefaultConfig())
+	tr := New(transport.Over(net), core.GeoSelector{}, DefaultConfig())
 	for _, h := range net.Hosts() {
 		tr.Insert(h)
 	}
@@ -140,7 +141,7 @@ func TestNearestPeerEmptyTree(t *testing.T) {
 	src := sim.NewSource(2)
 	net := topology.Star(3, topology.DefaultConfig())
 	topology.PlaceHosts(net, 2, false, 1, 2, src.Stream("p"))
-	tr := New(transport.Over(net), DefaultConfig())
+	tr := New(transport.Over(net), core.GeoSelector{}, DefaultConfig())
 	_, _, ok := tr.NearestPeer(net.Hosts()[0], geo.Coord{})
 	if ok {
 		t.Fatal("found a peer in an empty tree")
@@ -153,7 +154,7 @@ func TestNewPanicsOnBadConfig(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(nil, Config{SplitThreshold: 1})
+	New(nil, nil, Config{SplitThreshold: 1})
 }
 
 func TestGeocastReachesAreaPeers(t *testing.T) {

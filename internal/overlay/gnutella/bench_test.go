@@ -3,6 +3,7 @@ package gnutella
 import (
 	"testing"
 
+	"unap2p/internal/core"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
 	"unap2p/internal/transport"
@@ -19,8 +20,11 @@ func benchOverlay(b *testing.B, biased bool) *Overlay {
 	hosts := topology.PlaceHosts(net, 10, false, 1, 5, src.Stream("place"))
 	k := sim.NewKernel()
 	cfg := DefaultConfig()
-	cfg.BiasJoin = biased
-	o := New(transport.New(net, k), cfg, src.Stream("overlay"))
+	var sel core.Selector
+	if biased {
+		sel = core.NewOracleSelector(net, true, false)
+	}
+	o := New(transport.New(net, k), sel, cfg, src.Stream("overlay"))
 	for _, h := range hosts {
 		o.AddNode(h, true)
 	}

@@ -15,8 +15,8 @@ import (
 	"math/rand"
 	"sort"
 
+	"unap2p/internal/core"
 	"unap2p/internal/metrics"
-	"unap2p/internal/oracle"
 	"unap2p/internal/sim"
 	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
@@ -51,11 +51,6 @@ type Config struct {
 	QueryTTL int
 	// FileSize is the bytes transferred per download.
 	FileSize uint64
-	// BiasJoin consults the oracle when choosing neighbors.
-	BiasJoin bool
-	// BiasSource consults the oracle again among QueryHits when picking
-	// the download source (the file-exchange stage).
-	BiasSource bool
 	// ExternalPerNode reserves this many of a biased node's connections
 	// for peers *outside* its AS — "a minimal number of inter-AS
 	// connections necessary to keep the network connected" (§4, and the
@@ -123,9 +118,12 @@ type Overlay struct {
 	U   *underlay.Network
 	K   *sim.Kernel
 	Cfg Config
-	// Oracle, when non-nil and Cfg.BiasJoin/BiasSource set, biases
-	// decisions.
-	Oracle *oracle.Oracle
+	// Sel, when non-nil, biases decisions: a selector answering Rank
+	// biases neighbor selection at join time (with the ExternalPerNode
+	// safeguard), one answering SelectSource biases the file-exchange
+	// stage. A nil selector — or one with no preference — keeps the
+	// unaware protocol.
+	Sel core.Selector
 	// Catalog holds the shared content.
 	Catalog *workload.Catalog
 	// Msgs counts protocol messages by type: "ping", "pong", "query",
@@ -150,13 +148,15 @@ type Overlay struct {
 }
 
 // New creates an empty overlay sending through tr (which must carry a
-// kernel for delivery scheduling).
-func New(tr transport.Messenger, cfg Config, r *rand.Rand) *Overlay {
+// kernel for delivery scheduling) and selecting through sel (nil for the
+// unaware protocol).
+func New(tr transport.Messenger, sel core.Selector, cfg Config, r *rand.Rand) *Overlay {
 	return &Overlay{
 		T:           tr,
 		U:           tr.Underlay(),
 		K:           tr.Kernel(),
 		Cfg:         cfg,
+		Sel:         sel,
 		Catalog:     workload.NewCatalog(0),
 		Msgs:        tr.Counters(),
 		FileTraffic: tr.MatrixFor("file"),
@@ -231,8 +231,12 @@ func (o *Overlay) Join(n *Node) {
 	// rather than all funnelling into the nearest AS — randomness is what
 	// keeps the clustered overlay one connected component.
 	unranked := candidates
-	if o.Cfg.BiasJoin && o.Oracle != nil {
-		candidates = o.Oracle.Rank(n.Host, candidates)
+	biased := false
+	if o.Sel != nil {
+		if ranked, ok := o.Sel.Rank(n.Host, candidates); ok {
+			candidates = ranked
+			biased = true
+		}
 	}
 	if n.Ultra {
 		connect := func(id underlay.HostID, force bool) bool {
@@ -250,7 +254,7 @@ func (o *Overlay) Join(n *Node) {
 		// In biased mode, reserve ExternalPerNode slots for out-of-AS
 		// peers so AS clusters stay mutually connected.
 		external := 0
-		if o.Cfg.BiasJoin {
+		if biased {
 			external = o.Cfg.ExternalPerNode
 		}
 		budget := o.Cfg.UltraDegree - external

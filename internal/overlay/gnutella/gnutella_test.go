@@ -3,8 +3,8 @@ package gnutella
 import (
 	"testing"
 
+	"unap2p/internal/core"
 	"unap2p/internal/metrics"
-	"unap2p/internal/oracle"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
 	"unap2p/internal/transport"
@@ -25,7 +25,7 @@ func build(t *testing.T, hostsPerAS int, cfg Config, seed int64) (*underlay.Netw
 	net := topology.TransitStub(tcfg)
 	topology.PlaceHosts(net, hostsPerAS, false, 1, 5, src.Stream("place"))
 	k := sim.NewKernel()
-	o := New(transport.New(net, k), cfg, src.Stream("overlay"))
+	o := New(transport.New(net, k), nil, cfg, src.Stream("overlay"))
 	for _, h := range net.Hosts() {
 		o.AddNode(h, true)
 	}
@@ -58,7 +58,6 @@ func TestBiasedJoinClustersOverlay(t *testing.T) {
 	netU, ovU := build(t, 8, cfgU, 2)
 
 	cfgB := DefaultConfig()
-	cfgB.BiasJoin = true
 	src := sim.NewSource(2)
 	tcfg := topology.TransitStubConfig{
 		Config:   topology.Config{IntraDelay: 5, LinkDelay: 20, Rand: src.Stream("topo")},
@@ -67,8 +66,8 @@ func TestBiasedJoinClustersOverlay(t *testing.T) {
 	netB := topology.TransitStub(tcfg)
 	topology.PlaceHosts(netB, 8, false, 1, 5, src.Stream("place"))
 	k := sim.NewKernel()
-	ovB := New(transport.New(netB, k), cfgB, src.Stream("overlay"))
-	ovB.Oracle = oracle.New(netB)
+	ovB := New(transport.New(netB, k), core.NewOracleSelector(netB, true, false),
+		cfgB, src.Stream("overlay"))
 	for _, h := range netB.Hosts() {
 		ovB.AddNode(h, true)
 	}
@@ -158,8 +157,7 @@ func TestSearchSelfHolderNoMessages(t *testing.T) {
 
 func TestDownloadBiasedPrefersSameAS(t *testing.T) {
 	net, o := build(t, 6, DefaultConfig(), 6)
-	o.Oracle = oracle.New(net)
-	o.Cfg.BiasSource = true
+	o.Sel = core.NewOracleSelector(net, false, true)
 	requester := net.Hosts()[0]
 	sameAS := net.HostsInAS(requester.AS.ID)[1]
 	other := net.Hosts()[len(net.Hosts())-1]
@@ -199,7 +197,7 @@ func TestLeafRoles(t *testing.T) {
 	k := sim.NewKernel()
 	cfg := DefaultConfig()
 	cfg.LeafParents = 1
-	o := New(transport.New(net, k), cfg, src.Stream("ov"))
+	o := New(transport.New(net, k), nil, cfg, src.Stream("ov"))
 	// First 6 hosts are ultrapeers, the rest leaves.
 	for i, h := range net.Hosts() {
 		o.AddNode(h, i < 6)

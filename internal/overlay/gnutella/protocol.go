@@ -275,10 +275,11 @@ func (o *Overlay) RunSearch(from underlay.HostID, item workload.ItemID) *SearchR
 	return res
 }
 
-// Download picks a source among the result's hits — uniformly at random in
-// unbiased mode, oracle-closest when Cfg.BiasSource — and transfers the
-// file. It reports whether a transfer happened and whether it stayed
-// inside one AS.
+// Download picks a source among the result's hits — selector-preferred
+// when the selector answers SelectSource (the biased file-exchange
+// stage), uniformly at random otherwise — and transfers the file. It
+// reports whether a transfer happened and whether it stayed inside one
+// AS.
 func (o *Overlay) Download(res *SearchResult) (ok, intraAS bool) {
 	// Exclude ourselves as a source.
 	var hits []underlay.HostID
@@ -292,9 +293,11 @@ func (o *Overlay) Download(res *SearchResult) (ok, intraAS bool) {
 	}
 	requester := o.U.Host(res.From)
 	var src underlay.HostID
-	if o.Cfg.BiasSource && o.Oracle != nil {
-		src, _ = o.Oracle.Best(requester, hits)
-	} else {
+	picked := false
+	if o.Sel != nil {
+		src, picked = o.Sel.SelectSource(requester, hits)
+	}
+	if !picked {
 		src = hits[o.r.Intn(len(hits))]
 	}
 	source := o.U.Host(src)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"unap2p/internal/core"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
 	"unap2p/internal/transport"
@@ -14,7 +15,7 @@ func benchOverlay(b *testing.B) *Overlay {
 	src := sim.NewSource(1)
 	net := topology.Star(6, topology.DefaultConfig())
 	topology.PlaceHosts(net, 40, false, 1, 5, src.Stream("place"))
-	o := New(transport.Over(net), DefaultConfig())
+	o := New(transport.Over(net), core.GeoSelector{}, DefaultConfig())
 	for _, h := range net.Hosts() {
 		o.Join(h)
 	}

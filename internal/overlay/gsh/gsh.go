@@ -14,6 +14,7 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"unap2p/internal/core"
 	"unap2p/internal/geo"
 	"unap2p/internal/metrics"
 	"unap2p/internal/sim"
@@ -97,10 +98,14 @@ type Overlay struct {
 	// members[level][zone] lists member hosts of a zone, sorted for
 	// deterministic rendezvous.
 	members []map[ZoneCode][]underlay.HostID
+	sel     core.Selector
 }
 
-// New creates an empty overlay sending through tr.
-func New(tr transport.Messenger, cfg Config) *Overlay {
+// New creates an empty overlay sending through tr. The selector's
+// Position verb supplies the coordinates GSH hashes into zone prefixes
+// (a core.GeoSelector for perfect GPS fixes); a nil selector — or one
+// with no position answer — falls back to ground truth.
+func New(tr transport.Messenger, sel core.Selector, cfg Config) *Overlay {
 	if cfg.MaxLevel < 1 || cfg.MaxLevel > 16 {
 		panic("gsh: MaxLevel must be in [1,16]")
 	}
@@ -110,11 +115,23 @@ func New(tr transport.Messenger, cfg Config) *Overlay {
 		Msgs:    tr.Counters(),
 		nodes:   make(map[underlay.HostID]*node),
 		members: make([]map[ZoneCode][]underlay.HostID, cfg.MaxLevel+1),
+		sel:     sel,
 	}
 	for l := range o.members {
 		o.members[l] = make(map[ZoneCode][]underlay.HostID)
 	}
 	return o
+}
+
+// pos returns h's position as the selector believes it, falling back to
+// ground truth when no selector answers.
+func (o *Overlay) pos(h *underlay.Host) geo.Coord {
+	if o.sel != nil {
+		if c, ok := o.sel.Position(h); ok {
+			return c
+		}
+	}
+	return geo.Coord{Lat: h.Lat, Lon: h.Lon}
 }
 
 // Join registers a host in every zone level containing its position. The
@@ -134,7 +151,7 @@ func (o *Overlay) Join(h *underlay.Host) {
 		n.registry[l] = make(map[Key][]underlay.HostID)
 	}
 	o.nodes[h.ID] = n
-	pos := geo.Coord{Lat: h.Lat, Lon: h.Lon}
+	pos := o.pos(h)
 	for l := 0; l <= o.Cfg.MaxLevel; l++ {
 		z := zoneOf(pos, l)
 		ids := append(o.members[l][z], h.ID)
@@ -184,7 +201,7 @@ type PublishStats struct {
 // registration.
 func (o *Overlay) Publish(holder *underlay.Host, k Key) PublishStats {
 	var st PublishStats
-	pos := geo.Coord{Lat: holder.Lat, Lon: holder.Lon}
+	pos := o.pos(holder)
 	for l := o.Cfg.MaxLevel; l >= 0; l-- {
 		z := zoneOf(pos, l)
 		resp, ok := o.responsible(l, z, k)
@@ -233,7 +250,7 @@ type LookupStats struct {
 // neighborhood.
 func (o *Overlay) Lookup(requester *underlay.Host, k Key) ([]underlay.HostID, LookupStats) {
 	st := LookupStats{Level: -1}
-	pos := geo.Coord{Lat: requester.Lat, Lon: requester.Lon}
+	pos := o.pos(requester)
 	for l := o.Cfg.MaxLevel; l >= 0; l-- {
 		z := zoneOf(pos, l)
 		resp, ok := o.responsible(l, z, k)

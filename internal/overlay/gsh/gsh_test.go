@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"unap2p/internal/core"
 	"unap2p/internal/geo"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
@@ -16,7 +17,7 @@ func buildGSH(t *testing.T) (*underlay.Network, *Overlay) {
 	src := sim.NewSource(1)
 	net := topology.Star(6, topology.DefaultConfig())
 	topology.PlaceHosts(net, 25, false, 1, 5, src.Stream("place"))
-	o := New(transport.Over(net), DefaultConfig())
+	o := New(transport.Over(net), core.GeoSelector{}, DefaultConfig())
 	for _, h := range net.Hosts() {
 		o.Join(h)
 	}
@@ -180,7 +181,7 @@ func TestNewValidatesConfig(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(transport.Over(underlay.New()), Config{MaxLevel: 0})
+	New(transport.Over(underlay.New()), nil, Config{MaxLevel: 0})
 }
 
 func TestRendezvousStability(t *testing.T) {

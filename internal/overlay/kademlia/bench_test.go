@@ -3,6 +3,7 @@ package kademlia
 import (
 	"testing"
 
+	"unap2p/internal/core"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
 	"unap2p/internal/transport"
@@ -17,8 +18,11 @@ func benchDHT(b *testing.B, pns bool) *DHT {
 	})
 	topology.PlaceHosts(net, 15, false, 1, 5, src.Stream("place"))
 	cfg := DefaultConfig()
-	cfg.PNS = pns
-	d := New(transport.Over(net), cfg, src.Stream("dht"))
+	var sel core.Selector
+	if pns {
+		sel = core.RTTSelector(net)
+	}
+	d := New(transport.Over(net), sel, cfg, src.Stream("dht"))
 	for _, h := range net.Hosts() {
 		d.AddNode(h)
 	}

@@ -12,10 +12,12 @@ package kademlia
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"math/rand"
 	"sort"
 
+	"unap2p/internal/core"
 	"unap2p/internal/metrics"
 	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
@@ -52,15 +54,6 @@ type Config struct {
 	K int
 	// Alpha is the lookup parallelism.
 	Alpha int
-	// PNS enables proximity neighbor selection: when a bucket is full,
-	// keep the proximity-closest contacts instead of Kademlia's
-	// oldest-alive rule.
-	PNS bool
-	// Proximity supplies PNS's distance estimate between two hosts.
-	// Nil defaults to the true underlay RTT (explicit measurement); pass
-	// a Vivaldi or landmark-bin predictor to study prediction-driven PNS
-	// (the §3.2 collection techniques plugged into §4 usage).
-	Proximity func(a, b *underlay.Host) float64
 	// RPCBytes is the size of one request or response message.
 	RPCBytes uint64
 }
@@ -92,34 +85,43 @@ type DHT struct {
 	// transport across all RPC message types.
 	LookupTraffic *metrics.TrafficMatrix
 
-	nodes     map[underlay.HostID]*Node
-	byID      map[NodeID]*Node
-	sorted    []*Node // by NodeID, for deterministic iteration
-	r         *rand.Rand
-	proximity func(a, b *underlay.Host) float64
+	nodes  map[underlay.HostID]*Node
+	byID   map[NodeID]*Node
+	sorted []*Node // by NodeID, for deterministic iteration
+	r      *rand.Rand
+	sel    core.Selector
 }
 
-// New creates an empty DHT sending through tr.
-func New(tr transport.Messenger, cfg Config, r *rand.Rand) *DHT {
+// New creates an empty DHT sending through tr. A non-nil selector turns
+// on proximity neighbor selection with the selector's Proximity verb as
+// the distance estimate: core.RTTSelector for explicit measurement, or a
+// Vivaldi/landmark predictor wrapped with core.FuncSelector to study
+// prediction-driven PNS (the §3.2 collection techniques plugged into §4
+// usage). A nil selector runs classic Kademlia.
+func New(tr transport.Messenger, sel core.Selector, cfg Config, r *rand.Rand) *DHT {
 	if cfg.K < 1 || cfg.Alpha < 1 {
 		panic("kademlia: K and Alpha must be ≥ 1")
 	}
-	u := tr.Underlay()
-	d := &DHT{
+	return &DHT{
 		T:             tr,
-		U:             u,
+		U:             tr.Underlay(),
 		Cfg:           cfg,
 		Msgs:          tr.Counters(),
 		LookupTraffic: tr.MatrixFor("find_node", "find_value", "response", "store"),
 		nodes:         make(map[underlay.HostID]*Node),
 		byID:          make(map[NodeID]*Node),
 		r:             r,
+		sel:           sel,
 	}
-	d.proximity = cfg.Proximity
-	if d.proximity == nil {
-		d.proximity = func(a, b *underlay.Host) float64 { return float64(u.RTT(a, b)) }
+}
+
+// proximity is the PNS distance estimate; contacts the selector has no
+// answer for are never preferred.
+func (d *DHT) proximity(a, b *underlay.Host) float64 {
+	if v, ok := d.sel.Proximity(a, b); ok {
+		return v
 	}
-	return d
+	return math.MaxFloat64
 }
 
 // AddNode joins a host with a random (collision-free) node ID.
@@ -168,7 +170,7 @@ func (n *Node) observe(c Contact) {
 		n.buckets[idx] = append(b, c)
 		return
 	}
-	if !n.cfg.PNS {
+	if n.dht.sel == nil {
 		return // classic Kademlia: bucket full, drop newcomer
 	}
 	// PNS: keep the K proximity-closest contacts for this bucket.

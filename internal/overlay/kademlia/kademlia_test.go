@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"unap2p/internal/core"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
 	"unap2p/internal/transport"
@@ -23,8 +24,11 @@ func buildDHT(t *testing.T, nHosts int, pns bool, seed int64) (*underlay.Network
 	net := topology.TransitStub(tcfg)
 	topology.PlaceHosts(net, (nHosts+7)/8, false, 1, 5, src.Stream("place"))
 	cfg := DefaultConfig()
-	cfg.PNS = pns
-	d := New(transport.Over(net), cfg, src.Stream("dht"))
+	var sel core.Selector
+	if pns {
+		sel = core.RTTSelector(net)
+	}
+	d := New(transport.Over(net), sel, cfg, src.Stream("dht"))
 	for i, h := range net.Hosts() {
 		if i >= nHosts {
 			break
@@ -236,7 +240,7 @@ func TestNewPanicsOnBadConfig(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(nil, Config{K: 0, Alpha: 1}, nil)
+	New(nil, nil, Config{K: 0, Alpha: 1}, nil)
 }
 
 func TestDeterministicLookups(t *testing.T) {

@@ -11,8 +11,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"unap2p/internal/core"
 	"unap2p/internal/metrics"
-	"unap2p/internal/resources"
 	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
@@ -35,10 +35,6 @@ type Config struct {
 	// viewers; without it the whole stream can bottleneck through a
 	// single lucky child.
 	SourceFanout int
-	// Aware selects bandwidth-aware parent assignment: parents are drawn
-	// with probability proportional to their upload capacity instead of
-	// uniformly.
-	Aware bool
 }
 
 // DefaultConfig streams at 400 kbps with a 10-chunk window.
@@ -75,10 +71,9 @@ func (p *Peer) Has(chunk int) bool { return p.isSource || p.have[chunk] }
 // Mesh is a streaming session.
 type Mesh struct {
 	// T carries chunk transfers; U serves topology queries.
-	T     transport.Messenger
-	U     *underlay.Network
-	Cfg   Config
-	Table *resources.Table
+	T   transport.Messenger
+	U   *underlay.Network
+	Cfg Config
 	// ChunkTraffic accounts chunk bytes by AS pair, recorded by the
 	// transport under the "chunk" message type.
 	ChunkTraffic *metrics.TrafficMatrix
@@ -87,18 +82,28 @@ type Mesh struct {
 	peers  []*Peer
 	tick   int
 	r      *rand.Rand
+	sel    core.Selector
 }
 
-// NewMesh creates a session rooted at the source host, sending through tr.
-func NewMesh(tr transport.Messenger, table *resources.Table, source *underlay.Host,
+// NewMesh creates a session rooted at the source host, sending through
+// tr. The selector supplies peer upload capacities via its Bandwidth
+// verb (required — a core.ResourceSelector over the resource table);
+// when its Weight verb answers, parent assignment becomes bandwidth-
+// aware (capacity-weighted instead of uniform — ResourceSelector with
+// WeightParents set).
+func NewMesh(tr transport.Messenger, sel core.Selector, source *underlay.Host,
 	cfg Config, r *rand.Rand) *Mesh {
 	if cfg.Parents < 1 || cfg.Window < 1 || cfg.BitrateKbps <= 0 {
 		panic("streaming: invalid config")
 	}
+	if sel == nil {
+		panic("streaming: selector required for peer capacities")
+	}
 	m := &Mesh{
-		T: tr, U: tr.Underlay(), Cfg: cfg, Table: table,
+		T: tr, U: tr.Underlay(), Cfg: cfg,
 		ChunkTraffic: tr.MatrixFor("chunk"),
 		r:            r,
+		sel:          sel,
 	}
 	m.source = &Peer{Host: source, have: map[int]bool{}, isSource: true, upPerTick: 1e9}
 	return m
@@ -114,7 +119,7 @@ func (m *Mesh) AddViewer(h *underlay.Host) *Peer {
 			panic(fmt.Sprintf("streaming: host %d already viewing", h.ID))
 		}
 	}
-	up := m.Table.Get(h.ID).UpKbps
+	up, _ := m.sel.Bandwidth(h)
 	p := &Peer{
 		Host:      h,
 		have:      map[int]bool{},
@@ -128,7 +133,8 @@ func (m *Mesh) AddViewer(h *underlay.Host) *Peer {
 func (m *Mesh) Peers() []*Peer { return m.peers }
 
 // AssignParents wires the mesh: every viewer gets Cfg.Parents parents
-// from {source} ∪ viewers. Unaware: uniform; aware: capacity-weighted
+// from {source} ∪ viewers. When the selector's Weight verb declines,
+// picks are uniform; when it answers, picks are capacity-weighted
 // (high-upload peers parent many children — the bandwidth-aware strategy).
 func (m *Mesh) AssignParents() {
 	candidates := append([]*Peer{m.source}, m.peers...)
@@ -136,8 +142,8 @@ func (m *Mesh) AssignParents() {
 	var total float64
 	for i, c := range candidates {
 		w := 1.0
-		if m.Cfg.Aware {
-			w = c.upPerTick
+		if kbps, ok := m.sel.Weight(c.Host); ok {
+			w = kbps / m.Cfg.BitrateKbps
 			if c.isSource {
 				w = 2 // the source is one peer, not infinite capacity
 			}

@@ -3,6 +3,7 @@ package streaming
 import (
 	"testing"
 
+	"unap2p/internal/core"
 	"unap2p/internal/resources"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
@@ -20,8 +21,8 @@ func buildMesh(t testing.TB, aware bool, seed int64) (*underlay.Network, *Mesh) 
 	topology.PlaceHosts(net, 12, false, 1, 5, src.Stream("place"))
 	table := resources.GenerateAll(net, src.Stream("res"))
 	cfg := DefaultConfig()
-	cfg.Aware = aware
-	m := NewMesh(transport.Over(net), table, net.Hosts()[0], cfg, src.Stream("mesh"))
+	sel := &core.ResourceSelector{Table: table, WeightParents: aware}
+	m := NewMesh(transport.Over(net), sel, net.Hosts()[0], cfg, src.Stream("mesh"))
 	for _, h := range net.Hosts()[1:] {
 		m.AddViewer(h)
 	}
