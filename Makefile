@@ -4,7 +4,7 @@ GO ?= go
 # for publication-quality numbers.
 BENCHTIME ?= 100ms
 
-.PHONY: ci vet build test race bench cover
+.PHONY: ci vet build test race bench bench-json cover
 
 # ci is the full verification gate: static analysis, a clean build of
 # every package, and the test suite under the race detector. Benchmarks
@@ -30,6 +30,14 @@ race:
 # interleaved runs each so variance is visible.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCHTIME) -benchmem -count=3 ./...
+
+# bench-json snapshots the benchmark suite into a stable JSON artifact
+# so later PRs can diff ns/op against this one. -count=6 gives the
+# averaging in bench-import something to chew on.
+BENCH_JSON ?= BENCH_PR3.json
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCHTIME) -benchmem -count=6 ./... \
+		| $(GO) run ./cmd/unapctl bench-import -o $(BENCH_JSON)
 
 # cover writes a merged coverage profile and prints the total statement
 # coverage.

@@ -5,10 +5,17 @@
 // cache and the awareness counters show what that bias costs.
 //
 // Run with: go run ./examples/quickstart
+//
+// With -record run.jsonl a telemetry Recorder rides along and writes a
+// run file; record two seeds and compare them with
+// `go run ./cmd/unapctl diff`.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
+	"os"
 
 	"unap2p/internal/core"
 	"unap2p/internal/ipmap"
@@ -16,14 +23,35 @@ import (
 	"unap2p/internal/oracle"
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
+	"unap2p/internal/telemetry"
 	"unap2p/internal/topology"
 	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
 func main() {
+	seed := flag.Int64("seed", 42, "simulation seed")
+	record := flag.String("record", "", "write a telemetry run file (JSONL) here")
+	flag.Parse()
+
+	// 0. Optional observability: a Recorder is a pure observer, so the
+	// numbers below are identical with or without it.
+	var rec *telemetry.Recorder
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		rec = telemetry.NewRecorder(telemetry.Config{
+			Capacity: 1 << 14,
+			Sink:     telemetry.NewRunWriter(f),
+			Manifest: telemetry.Manifest{Name: "quickstart", Seed: *seed, Scale: 1},
+		})
+	}
+
 	// 1. An underlay: 2 transit ISPs, 8 local ISPs, 10 hosts each.
-	src := sim.NewSource(42)
+	src := sim.NewSource(*seed)
 	net := topology.TransitStub(topology.TransitStubConfig{
 		Config:   topology.Config{IntraDelay: 5, LinkDelay: 20, Rand: src.Stream("topo")},
 		Transits: 2,
@@ -52,6 +80,10 @@ func main() {
 	build := func(s core.Selector, label string) {
 		k := sim.NewKernel()
 		tr := transport.New(net, k)
+		if rec != nil {
+			rec.ObserveTransport(tr)
+			rec.ObserveKernel(k)
+		}
 		if s != nil {
 			// Unified accounting: collection overhead lands in the same
 			// counter set as the protocol traffic.
@@ -99,4 +131,13 @@ func main() {
 	cost, _ := autoSel.Proximity(a, b)
 	fmt.Printf("bootstrap engine: %d estimators, overhead %d, cost(h%d,h%d)=%.1f\n",
 		len(auto.Estimators()), auto.TotalOverhead(), a.ID, b.ID, cost)
+
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			log.Fatal(err)
+		}
+		sum := rec.Summary()
+		fmt.Printf("recorded %d events, %d metrics to %s\n",
+			sum.Events, len(sum.Metrics.Flatten()), *record)
+	}
 }

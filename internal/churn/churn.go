@@ -67,6 +67,10 @@ type Driver struct {
 	// either may be nil.
 	OnJoin  func(*underlay.Host)
 	OnLeave func(*underlay.Host)
+	// Trace, when non-nil, observes every session transition (after Up
+	// flips, before OnJoin/OnLeave) — the telemetry layer's event source.
+	// up reports the host's new state.
+	Trace func(h *underlay.Host, up bool)
 	// Joins and Leaves count events for reporting.
 	Joins, Leaves uint64
 }
@@ -98,6 +102,9 @@ func (d *Driver) scheduleLeave(h *underlay.Host) {
 		}
 		h.Up = false
 		d.Leaves++
+		if d.Trace != nil {
+			d.Trace(h, false)
+		}
 		if d.OnLeave != nil {
 			d.OnLeave(h)
 		}
@@ -112,6 +119,9 @@ func (d *Driver) scheduleJoin(h *underlay.Host) {
 		}
 		h.Up = true
 		d.Joins++
+		if d.Trace != nil {
+			d.Trace(h, true)
+		}
 		if d.OnJoin != nil {
 			d.OnJoin(h)
 		}

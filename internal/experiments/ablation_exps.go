@@ -12,7 +12,6 @@ import (
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
-	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -172,7 +171,7 @@ func runAblExternal(cfg RunConfig) Result {
 		k := sim.NewKernel()
 		gcfg := gnutella.DefaultConfig()
 		gcfg.ExternalPerNode = ext
-		ov := gnutella.New(transport.New(net, k), core.NewOracleSelector(net, true, false),
+		ov := gnutella.New(cfg.newTransport(net, k), core.NewOracleSelector(net, true, false),
 			gcfg, src.Stream("overlay"))
 		for _, h := range net.Hosts() {
 			ov.AddNode(h, true)

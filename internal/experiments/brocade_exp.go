@@ -7,7 +7,6 @@ import (
 	"unap2p/internal/resources"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
-	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -33,7 +32,7 @@ func runBrocade(cfg RunConfig) Result {
 
 	// Flat overlay: a Kademlia DHT; delivering to a node = iterative
 	// lookup of its ID, every RPC potentially wide-area.
-	d := kademlia.New(transport.Over(net), nil, kademlia.DefaultConfig(), src.Stream("dht"))
+	d := kademlia.New(cfg.newTransportOver(net), nil, kademlia.DefaultConfig(), src.Stream("dht"))
 	nodeOf := map[underlay.HostID]*kademlia.Node{}
 	for _, h := range hosts {
 		nodeOf[h.ID] = d.AddNode(h)
@@ -41,7 +40,7 @@ func runBrocade(cfg RunConfig) Result {
 	d.Bootstrap(4)
 
 	// Landmark overlay over the same population.
-	b := brocade.Build(transport.Over(net), &core.ResourceSelector{Table: table}, hosts)
+	b := brocade.Build(cfg.newTransportOver(net), &core.ResourceSelector{Table: table}, hosts)
 
 	// The same cross-domain message workload through both.
 	probe := src.Stream("probe")

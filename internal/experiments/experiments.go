@@ -9,7 +9,27 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"unap2p/internal/churn"
+	"unap2p/internal/mobility"
+	"unap2p/internal/sim"
+	"unap2p/internal/transport"
+	"unap2p/internal/underlay"
 )
+
+// Observer receives the live instrumented components an experiment
+// constructs — the opt-in attachment point for the telemetry Recorder
+// (which implements this interface) without this package importing it.
+// Observers must be pure: attaching one may not change any simulated
+// result, only watch it. All methods are invoked before the component
+// carries workload, and may be invoked from concurrent goroutines during
+// multi-seed sweeps.
+type Observer interface {
+	ObserveTransport(*transport.Transport)
+	ObserveKernel(*sim.Kernel)
+	ObserveChurn(*churn.Driver)
+	ObserveMobility(*mobility.Model)
+}
 
 // RunConfig parameterizes an experiment run.
 type RunConfig struct {
@@ -19,6 +39,50 @@ type RunConfig struct {
 	// Scale multiplies workload sizes (1.0 = the default laptop-scale
 	// setup; benchmarks use smaller, studies larger).
 	Scale float64
+	// Obs, when non-nil, is attached to every transport, kernel, churn
+	// driver, and mobility model the experiment builds. nil (the
+	// default) records nothing and leaves every construction identical
+	// to the pre-telemetry code path.
+	Obs Observer
+}
+
+// newTransport builds a Transport and attaches the observer (and the
+// kernel, when present). Experiments construct every messenger through
+// this (or newTransportOver) so telemetry sees all traffic.
+func (c RunConfig) newTransport(net *underlay.Network, k *sim.Kernel) *transport.Transport {
+	tr := transport.New(net, k)
+	if c.Obs != nil {
+		if k != nil {
+			c.Obs.ObserveKernel(k)
+		}
+		c.Obs.ObserveTransport(tr)
+	}
+	return tr
+}
+
+// newTransportOver is newTransport for kernel-less overlays.
+func (c RunConfig) newTransportOver(net *underlay.Network) *transport.Transport {
+	return c.newTransport(net, nil)
+}
+
+// observeChurn attaches the observer to a churn driver (and its kernel)
+// and returns it.
+func (c RunConfig) observeChurn(d *churn.Driver) *churn.Driver {
+	if c.Obs != nil {
+		c.Obs.ObserveKernel(d.Kernel)
+		c.Obs.ObserveChurn(d)
+	}
+	return d
+}
+
+// observeMobility attaches the observer to a mobility model (and its
+// kernel) and returns it.
+func (c RunConfig) observeMobility(m *mobility.Model) *mobility.Model {
+	if c.Obs != nil {
+		c.Obs.ObserveKernel(m.Kernel)
+		c.Obs.ObserveMobility(m)
+	}
+	return m
 }
 
 // DefaultRunConfig returns seed 1, scale 1.

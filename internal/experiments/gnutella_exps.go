@@ -9,7 +9,6 @@ import (
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
-	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 	"unap2p/internal/workload"
 )
@@ -62,7 +61,7 @@ func buildGnutella(cfg RunConfig, variant string, hostcache int, biasJoin, biasS
 	if biasJoin || biasSource {
 		sel = core.NewOracleSelector(net, biasJoin, biasSource)
 	}
-	ov := gnutella.New(transport.New(net, k), sel, gcfg, src.Stream("overlay"))
+	ov := gnutella.New(cfg.newTransport(net, k), sel, gcfg, src.Stream("overlay"))
 	ov.Catalog = catalog
 	for _, h := range hosts {
 		ov.AddNode(h, true)

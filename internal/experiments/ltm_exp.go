@@ -6,7 +6,6 @@ import (
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
-	"unap2p/internal/transport"
 )
 
 func init() {
@@ -36,7 +35,7 @@ func runTopologyMatching(cfg RunConfig) Result {
 		if bias {
 			sel = core.NewOracleSelector(net, true, false)
 		}
-		ov := gnutella.New(transport.New(net, k), sel, gcfg, src.Stream("overlay"))
+		ov := gnutella.New(cfg.newTransport(net, k), sel, gcfg, src.Stream("overlay"))
 		for _, h := range net.Hosts() {
 			ov.AddNode(h, true)
 		}

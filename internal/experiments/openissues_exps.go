@@ -9,7 +9,6 @@ import (
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
-	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 	"unap2p/internal/workload"
 )
@@ -52,7 +51,7 @@ func runMobility(cfg RunConfig) Result {
 		}
 	}
 	k := sim.NewKernel()
-	model := mobility.NewModel(k, src.Stream("mob"), points, 30*sim.Second)
+	model := cfg.observeMobility(mobility.NewModel(k, src.Stream("mob"), points, 30*sim.Second))
 	nMobile := cfg.scaled(60)
 	var hosts []*underlay.Host
 	for i := 0; i < nMobile; i++ {
@@ -194,7 +193,7 @@ func runAblPongCache(cfg RunConfig) Result {
 		gcfg.PongCache = cached
 		gcfg.PongCacheSize = 10
 		gcfg.HostcacheSize = 1000
-		ov := gnutella.New(transport.New(net, k), nil, gcfg, src.Stream("overlay"))
+		ov := gnutella.New(cfg.newTransport(net, k), nil, gcfg, src.Stream("overlay"))
 		for _, h := range net.Hosts() {
 			ov.AddNode(h, true)
 		}

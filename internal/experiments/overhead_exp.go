@@ -4,7 +4,6 @@ import (
 	"unap2p/internal/cdn"
 	"unap2p/internal/core"
 	"unap2p/internal/sim"
-	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
 
@@ -32,7 +31,7 @@ func runOverhead(cfg RunConfig) Result {
 	// each engine's collection cost to "awareness:<method>" counters here,
 	// next to where protocol traffic would be counted — the unified
 	// accounting the §5.4 open issue asks for.
-	tr := transport.Over(net)
+	tr := cfg.newTransportOver(net)
 
 	// Fixed evaluation workload: 80 (client, 25-candidate) selection
 	// problems; every technique ranks the same sets.

@@ -9,7 +9,6 @@ import (
 	"unap2p/internal/resources"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
-	"unap2p/internal/transport"
 )
 
 func init() {
@@ -37,7 +36,7 @@ func runStreaming(cfg RunConfig) Result {
 		table := resources.GenerateAll(net, src.Stream("res"))
 		scfg := streaming.DefaultConfig()
 		sel := &core.ResourceSelector{Table: table, WeightParents: aware}
-		m := streaming.NewMesh(transport.Over(net), sel, net.Hosts()[0], scfg, src.Stream("mesh"))
+		m := streaming.NewMesh(cfg.newTransportOver(net), sel, net.Hosts()[0], scfg, src.Stream("mesh"))
 		for _, h := range net.Hosts()[1:] {
 			m.AddViewer(h)
 		}
@@ -84,7 +83,7 @@ func runChordPNS(cfg RunConfig) Result {
 		if pns {
 			sel = core.RTTSelector(net)
 		}
-		ring := chord.New(transport.Over(net), sel, ccfg, src.Stream("ring"))
+		ring := chord.New(cfg.newTransportOver(net), sel, ccfg, src.Stream("ring"))
 		for _, h := range net.Hosts() {
 			ring.AddNode(h)
 		}

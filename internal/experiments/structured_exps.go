@@ -13,7 +13,6 @@ import (
 	"unap2p/internal/sim"
 	"unap2p/internal/skyeye"
 	"unap2p/internal/topology"
-	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 	"unap2p/internal/workload"
 )
@@ -39,7 +38,7 @@ func runGSHLeopard(cfg RunConfig) Result {
 	src := sim.NewSource(cfg.Seed).Fork("gsh")
 	net := topology.Star(8, topology.DefaultConfig())
 	hosts := topology.PlaceHosts(net, cfg.scaled(35), false, 1, 5, src.Stream("place"))
-	o := gsh.New(transport.Over(net), core.GeoSelector{}, gsh.DefaultConfig())
+	o := gsh.New(cfg.newTransportOver(net), core.GeoSelector{}, gsh.DefaultConfig())
 	for _, h := range hosts {
 		o.Join(h)
 	}
@@ -147,7 +146,7 @@ func runSuperPeer(cfg RunConfig) Result {
 
 		k := sim.NewKernel()
 		gcfg := gnutella.DefaultConfig()
-		ov := gnutella.New(transport.New(net, k), nil, gcfg, src.Stream("overlay"))
+		ov := gnutella.New(cfg.newTransport(net, k), nil, gcfg, src.Stream("overlay"))
 		ov.SettleTime = 2 * sim.Second
 		for _, h := range hosts {
 			ov.AddNode(h, ultra[h.ID])
@@ -180,6 +179,7 @@ func runSuperPeer(cfg RunConfig) Result {
 			},
 			OnJoin: func(h *underlay.Host) { ov.Join(ov.Node(h.ID)) },
 		}
+		cfg.observeChurn(drv)
 		drv.Start(hosts)
 
 		success, attempts := 0, 0
@@ -253,7 +253,7 @@ func runAblPNSMetric(cfg RunConfig) Result {
 		// Small buckets overflow often, so the replacement policy (where
 		// PNS acts) decides most table entries.
 		kcfg.K = 4
-		d := kademlia.New(transport.Over(net), sel, kcfg, sim.NewSource(cfg.Seed).Fork("dht-"+name).Stream("dht"))
+		d := kademlia.New(cfg.newTransportOver(net), sel, kcfg, sim.NewSource(cfg.Seed).Fork("dht-"+name).Stream("dht"))
 		for _, h := range hosts {
 			d.AddNode(h)
 		}

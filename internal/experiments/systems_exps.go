@@ -12,7 +12,6 @@ import (
 	"unap2p/internal/sim"
 	"unap2p/internal/skyeye"
 	"unap2p/internal/topology"
-	"unap2p/internal/transport"
 )
 
 func init() {
@@ -50,7 +49,7 @@ func runBNSSwarm(cfg RunConfig) Result {
 		if biased {
 			sel = core.ASHopSelector(net)
 		}
-		s := bittorrent.NewSwarm(transport.Over(net), sel, scfg, src.Stream("swarm"))
+		s := bittorrent.NewSwarm(cfg.newTransportOver(net), sel, scfg, src.Stream("swarm"))
 		for i, h := range net.Hosts() {
 			if i%40 == 0 {
 				s.AddSeed(h)
@@ -104,7 +103,7 @@ func runPNSKademlia(cfg RunConfig) Result {
 			rtt.E.EnableCache(core.CacheConfig{Capacity: 4096})
 			sel = rtt
 		}
-		d := kademlia.New(transport.Over(net), sel, kcfg, src.Stream("dht"))
+		d := kademlia.New(cfg.newTransportOver(net), sel, kcfg, src.Stream("dht"))
 		for _, h := range net.Hosts() {
 			d.AddNode(h)
 		}
@@ -149,7 +148,7 @@ func runGeoSearch(cfg RunConfig) Result {
 	src := sim.NewSource(cfg.Seed).Fork("geosearch")
 	net := topology.Star(8, topology.DefaultConfig())
 	topology.PlaceHosts(net, cfg.scaled(40), false, 1, 5, src.Stream("place"))
-	tr := geotree.New(transport.Over(net), core.GeoSelector{}, geotree.DefaultConfig())
+	tr := geotree.New(cfg.newTransportOver(net), core.GeoSelector{}, geotree.DefaultConfig())
 	for _, h := range net.Hosts() {
 		tr.Insert(h)
 	}

@@ -7,7 +7,6 @@ import (
 	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
-	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 	"unap2p/internal/workload"
 )
@@ -65,7 +64,7 @@ type testlabOutcome struct {
 // runTestlabOnce runs one (topology, bias, distribution) cell: every node
 // floods one search for its own query string (a uniquely assigned item)
 // and downloads from a hit.
-func runTestlabOnce(kind string, biased bool, uniform bool, seed int64) testlabOutcome {
+func runTestlabOnce(cfg RunConfig, kind string, biased bool, uniform bool, seed int64) testlabOutcome {
 	src := sim.NewSource(seed).Fork(fmt.Sprintf("testlab-%s-%v-%v", kind, biased, uniform))
 	net, hosts, ultra := testlabTopology(kind, src)
 
@@ -80,7 +79,7 @@ func runTestlabOnce(kind string, biased bool, uniform bool, seed int64) testlabO
 	if biased {
 		sel = core.NewOracleSelector(net, true, true)
 	}
-	ov := gnutella.New(transport.New(net, k), sel, gcfg, src.Stream("overlay"))
+	ov := gnutella.New(cfg.newTransport(net, k), sel, gcfg, src.Stream("overlay"))
 	for i, h := range hosts {
 		ov.AddNode(h, ultra[i])
 	}
@@ -155,7 +154,7 @@ func runTestlab(cfg RunConfig) Result {
 				if biased {
 					mode = "oracle"
 				}
-				o := runTestlabOnce(kind, biased, uniform, cfg.Seed)
+				o := runTestlabOnce(cfg, kind, biased, uniform, cfg.Seed)
 				res.Rows = append(res.Rows, []string{
 					kind, scheme, mode, d(o.queries), d(o.hits), di(o.failed), pct(o.intraAS),
 				})

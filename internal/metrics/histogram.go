@@ -119,8 +119,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i, c := range h.counts {
 		next := cum + float64(c)
 		if next >= rank && c > 0 {
+			// Interpolate inside the bucket, clamped to the observed
+			// [min, max]: a bucket holding only the global min (or max)
+			// must not yield values outside what was ever observed —
+			// e.g. every quantile of a single-sample histogram is that
+			// sample.
 			lo := h.min
-			if i > 0 {
+			if i > 0 && h.bounds[i-1] > lo {
 				lo = h.bounds[i-1]
 			}
 			hi := h.max

@@ -36,6 +36,9 @@ type Model struct {
 	// already applied) — the hook underlay-aware systems use to refresh
 	// their information.
 	OnMove func(h *underlay.Host, from, to AttachmentPoint)
+	// Trace, when non-nil, observes every handover (after the move is
+	// applied, before OnMove) — the telemetry layer's event source.
+	Trace func(h *underlay.Host, from, to AttachmentPoint)
 	// Moves counts handovers performed.
 	Moves uint64
 
@@ -93,6 +96,9 @@ func (m *Model) move(h *underlay.Host) {
 	from := m.Points[cur]
 	m.Attach(h, next)
 	m.Moves++
+	if m.Trace != nil {
+		m.Trace(h, from, m.Points[next])
+	}
 	if m.OnMove != nil {
 		m.OnMove(h, from, m.Points[next])
 	}

@@ -79,6 +79,9 @@ type Kernel struct {
 	stopped bool
 	// processed counts events executed, for diagnostics and run limits.
 	processed uint64
+	// maxQueue tracks the high-water mark of the pending-event queue, a
+	// cheap load statistic telemetry exports per run.
+	maxQueue int
 	// MaxEvents, when non-zero, aborts Run after that many events as a
 	// runaway-simulation backstop.
 	MaxEvents uint64
@@ -95,6 +98,29 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending reports how many events are queued.
 func (k *Kernel) Pending() int { return len(k.queue) }
+
+// MaxQueue reports the high-water mark of the pending-event queue — how
+// deep the schedule ever got.
+func (k *Kernel) MaxQueue() int { return k.maxQueue }
+
+// Clock returns a closure over the kernel's current time, the read-only
+// view span tracers and recorders stamp events with.
+func (k *Kernel) Clock() func() Time {
+	return func() Time { return k.now }
+}
+
+// Stats is a frozen snapshot of the kernel's run statistics.
+type Stats struct {
+	Now       Time
+	Processed uint64
+	Pending   int
+	MaxQueue  int
+}
+
+// Stats snapshots the kernel's diagnostics counters.
+func (k *Kernel) Stats() Stats {
+	return Stats{Now: k.now, Processed: k.processed, Pending: len(k.queue), MaxQueue: k.maxQueue}
+}
 
 // Timer identifies a scheduled event so it can be cancelled.
 type Timer struct {
@@ -131,6 +157,9 @@ func (k *Kernel) At(t Time, fn func()) Timer {
 	e := &event{at: t, seq: k.seq, fn: fn}
 	k.seq++
 	heap.Push(&k.queue, e)
+	if len(k.queue) > k.maxQueue {
+		k.maxQueue = len(k.queue)
+	}
 	return Timer{k: k, e: e}
 }
 

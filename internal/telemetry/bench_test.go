@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"testing"
+
+	"unap2p/internal/sim"
+	"unap2p/internal/transport"
+)
+
+// The acceptance bar for the telemetry subsystem is that attaching a
+// Recorder costs at most ~10% on the transport hot path. Run both
+// benchmarks with -benchmem and compare ns/op.
+
+func benchSend(b *testing.B, attach, accounted bool) {
+	net, hosts := testNet(1)
+	k := sim.NewKernel()
+	tr := transport.New(net, k)
+	if accounted {
+		tr.MatrixFor("bench")
+	}
+	if attach {
+		// A small ring stays L1-resident, which matters at this
+		// per-event cost scale; capacity only bounds how much history
+		// Events() can replay, not the metrics accounting.
+		rec := NewRecorder(Config{Capacity: 64})
+		rec.ObserveTransport(tr)
+		rec.ObserveKernel(k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Send(hosts[i%len(hosts)], hosts[(i+1)%len(hosts)], 64, "bench")
+	}
+}
+
+// Bare Send: per-type counters and latency histogram only — the
+// cheapest possible configuration, so the least favorable denominator
+// for relative recorder overhead.
+func BenchmarkTransportSendDetached(b *testing.B) { benchSend(b, false, false) }
+func BenchmarkTransportSendRecorded(b *testing.B) { benchSend(b, true, false) }
+
+// Accounted Send: a traffic matrix is registered for the message type,
+// as every experiment's AS-pair byte accounting does — the
+// production-configured send path.
+func BenchmarkTransportSendAccountedDetached(b *testing.B) { benchSend(b, false, true) }
+func BenchmarkTransportSendAccountedRecorded(b *testing.B) { benchSend(b, true, true) }
+
+// benchDeliver measures the full per-message path of kernel experiments:
+// Send accounting plus delivery scheduling and dispatch — what one
+// overlay message actually costs in a simulation.
+func benchDeliver(b *testing.B, attach bool) {
+	net, hosts := testNet(1)
+	k := sim.NewKernel()
+	tr := transport.New(net, k)
+	if attach {
+		rec := NewRecorder(Config{Capacity: 64})
+		rec.ObserveTransport(tr)
+		rec.ObserveKernel(k)
+	}
+	delivered := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Deliver(hosts[i%len(hosts)], hosts[(i+1)%len(hosts)], 64, "bench", func() { delivered++ })
+		k.Drain()
+	}
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+func BenchmarkTransportDeliverDetached(b *testing.B) { benchDeliver(b, false) }
+func BenchmarkTransportDeliverRecorded(b *testing.B) { benchDeliver(b, true) }
+
+// BenchmarkRecorderRecord isolates the cost of the ring write itself.
+func BenchmarkRecorderRecord(b *testing.B) {
+	rec := NewRecorder(Config{Capacity: 1 << 12})
+	e := Event{At: 1, Cat: CatTransport, Type: "bench", From: 0, To: 1, Bytes: 64, Latency: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(e)
+	}
+}

@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"unap2p/internal/churn"
+	"unap2p/internal/mobility"
+	"unap2p/internal/geo"
+	"unap2p/internal/sim"
+	"unap2p/internal/topology"
+	"unap2p/internal/transport"
+	"unap2p/internal/underlay"
+)
+
+// testNet builds a small deterministic underlay for recorder tests.
+func testNet(seed int64) (*underlay.Network, []*underlay.Host) {
+	src := sim.NewSource(seed)
+	net := topology.TransitStub(topology.TransitStubConfig{
+		Config:   topology.Config{IntraDelay: 5, LinkDelay: 20, Rand: src.Stream("topo")},
+		Transits: 2,
+		Stubs:    4,
+	})
+	hosts := topology.PlaceHosts(net, 4, false, 1, 5, src.Stream("place"))
+	return net, hosts
+}
+
+func TestRecorderObserveTransport(t *testing.T) {
+	net, hosts := testNet(1)
+	k := sim.NewKernel()
+	tr := transport.New(net, k)
+	rec := NewRecorder(Config{Capacity: 16})
+	rec.ObserveTransport(tr)
+	rec.ObserveKernel(k)
+
+	tr.Send(hosts[0], hosts[1], 100, "ping")
+	tr.Send(hosts[1], hosts[0], 40, "pong")
+
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(evs))
+	}
+	if evs[0].Cat != CatTransport || evs[0].Type != "ping" || evs[0].Bytes != 100 {
+		t.Fatalf("bad first event: %+v", evs[0])
+	}
+	if evs[0].From != int(hosts[0].ID) || evs[0].To != int(hosts[1].ID) {
+		t.Fatalf("bad endpoints: %+v", evs[0])
+	}
+	if evs[0].Latency <= 0 {
+		t.Fatalf("expected positive latency, got %v", evs[0].Latency)
+	}
+
+	snap := rec.Snapshot()
+	if snap.Counters["transport:msgs:ping"] != 1 || snap.Counters["transport:msgs:pong"] != 1 {
+		t.Fatalf("counters missing from snapshot: %v", snap.Counters)
+	}
+	if snap.Counters["transport:bytes:ping"] != 100 {
+		t.Fatalf("bytes counter wrong: %v", snap.Counters)
+	}
+	if h, ok := snap.Histograms["transport:latency:ping"]; !ok || h.N != 1 {
+		t.Fatalf("latency histogram missing: %v", snap.Histograms)
+	}
+}
+
+func TestRecorderChainsExistingTrace(t *testing.T) {
+	net, hosts := testNet(1)
+	tr := transport.Over(net)
+	var prior int
+	tr.Trace = func(transport.Event) { prior++ }
+	rec := NewRecorder(Config{Capacity: 8})
+	rec.ObserveTransport(tr)
+	tr.Send(hosts[0], hosts[1], 10, "x")
+	if prior != 1 {
+		t.Fatalf("prior trace observer called %d times, want 1", prior)
+	}
+	if got := rec.Recorded(); got != 1 {
+		t.Fatalf("recorder saw %d events, want 1", got)
+	}
+}
+
+func TestRecorderRingOverwritesWithoutSink(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		rec.Record(Event{At: sim.Time(i), Cat: "test", Type: "e", From: -1, To: -1})
+	}
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	// Oldest six were overwritten; the survivors are 6..9 in order.
+	for i, e := range evs {
+		if e.At != sim.Time(6+i) {
+			t.Fatalf("event %d at %v, want %v", i, e.At, sim.Time(6+i))
+		}
+	}
+	rec.Close()
+	sum := rec.Summary()
+	if sum.Events != 10 || sum.Overwritten != 6 {
+		t.Fatalf("summary = %+v, want 10 events / 6 overwritten", sum)
+	}
+}
+
+func TestRecorderDrainsToSinkOnOverflow(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(Config{
+		Capacity: 4,
+		Sink:     NewRunWriter(&buf),
+		Manifest: Manifest{Name: "overflow-test", Seed: 7, Scale: 1},
+	})
+	for i := 0; i < 10; i++ {
+		rec.Record(Event{At: sim.Time(i), Cat: "test", Type: "e", From: -1, To: -1})
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	run, err := ReadRun(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Events) != 10 {
+		t.Fatalf("sink got %d events, want all 10", len(run.Events))
+	}
+	for i, e := range run.Events {
+		if e.At != sim.Time(i) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+	if run.Manifest.Name != "overflow-test" || run.Manifest.Seed != 7 {
+		t.Fatalf("manifest mangled: %+v", run.Manifest)
+	}
+	if !run.HasSummary || run.Summary.Events != 10 || run.Summary.Overwritten != 0 {
+		t.Fatalf("summary = %+v", run.Summary)
+	}
+}
+
+func TestRecorderObserveChurn(t *testing.T) {
+	_, hosts := testNet(3)
+	k := sim.NewKernel()
+	src := sim.NewSource(3)
+	drv := &churn.Driver{
+		Kernel: k,
+		Model:  churn.Exponential{MeanOn: 2 * sim.Second, MeanOff: 1 * sim.Second},
+		Rand:   src.Stream("churn"),
+	}
+	var external int
+	drv.Trace = func(*underlay.Host, bool) { external++ }
+	rec := NewRecorder(Config{Capacity: 1024})
+	rec.ObserveChurn(drv)
+	rec.ObserveKernel(k)
+	drv.Start(hosts)
+	k.Run(20 * sim.Second)
+
+	joins, leaves := 0, 0
+	for _, e := range rec.Events() {
+		switch {
+		case e.Cat == CatChurn && e.Type == "join":
+			joins++
+		case e.Cat == CatChurn && e.Type == "leave":
+			leaves++
+		default:
+			t.Fatalf("unexpected event %+v", e)
+		}
+	}
+	if uint64(joins) != drv.Joins || uint64(leaves) != drv.Leaves {
+		t.Fatalf("events (%d joins, %d leaves) disagree with driver (%d, %d)",
+			joins, leaves, drv.Joins, drv.Leaves)
+	}
+	if joins+leaves == 0 {
+		t.Fatal("no churn happened; test is vacuous")
+	}
+	if external != joins+leaves {
+		t.Fatalf("pre-existing Trace hook called %d times, want %d", external, joins+leaves)
+	}
+	snap := rec.Snapshot()
+	if snap.Counters["churn:joins"] != drv.Joins || snap.Counters["churn:leaves"] != drv.Leaves {
+		t.Fatalf("churn counters missing: %v", snap.Counters)
+	}
+}
+
+func TestRecorderObserveMobility(t *testing.T) {
+	net, hosts := testNet(4)
+	k := sim.NewKernel()
+	src := sim.NewSource(4)
+	var points []mobility.AttachmentPoint
+	for i, as := range net.ASes() {
+		if as.Kind != underlay.LocalISP {
+			continue
+		}
+		points = append(points, mobility.AttachmentPoint{
+			AS:          as,
+			Pos:         geo.Coord{Lat: float64(i), Lon: float64(2 * i)},
+			AccessDelay: sim.Duration(5 + i),
+		})
+	}
+	model := mobility.NewModel(k, src.Stream("mob"), points, 2*sim.Second)
+	rec := NewRecorder(Config{Capacity: 1024})
+	rec.ObserveMobility(model)
+	model.Attach(hosts[0], 0)
+	model.Track(hosts[0])
+	k.Run(30 * sim.Second)
+
+	if model.Moves == 0 {
+		t.Fatal("no moves happened; test is vacuous")
+	}
+	evs := rec.Events()
+	if uint64(len(evs)) != model.Moves {
+		t.Fatalf("%d move events, want %d", len(evs), model.Moves)
+	}
+	for _, e := range evs {
+		if e.Cat != CatMobility || e.Type != "move" || !strings.Contains(e.Detail, "→") {
+			t.Fatalf("bad move event %+v", e)
+		}
+	}
+	if snap := rec.Snapshot(); snap.Counters["mobility:moves"] != model.Moves {
+		t.Fatalf("mobility counter missing: %v", snap.Counters)
+	}
+}
+
+func TestRecorderCloseIdempotentAndFreezes(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 4})
+	rec.Record(Event{Cat: "test", Type: "a", From: -1, To: -1})
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Record(Event{Cat: "test", Type: "b", From: -1, To: -1}) // ignored
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Summary().Events; got != 1 {
+		t.Fatalf("summary events = %d, want 1 (post-close records must be dropped)", got)
+	}
+}
+
+func TestRegistryUserMetricsInSnapshot(t *testing.T) {
+	rec := NewRecorder(Config{})
+	rec.Registry().RegisterGauge("app:quality", func() float64 { return 0.75 })
+	snap := rec.Snapshot()
+	if snap.Gauges["app:quality"] != 0.75 {
+		t.Fatalf("user gauge missing: %v", snap.Gauges)
+	}
+}
+
+func TestRegistryDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate metric name")
+		}
+	}()
+	r := NewRegistry()
+	r.RegisterGauge("x", func() float64 { return 0 })
+	r.RegisterGauge("x", func() float64 { return 1 })
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// A run file is JSON Lines with one typed record per line:
+//
+//	{"t":"manifest","manifest":{…}}   exactly once, first line
+//	{"t":"event","event":{…}}         zero or more, in record order
+//	{"t":"summary","summary":{…}}     exactly once, last line
+//
+// The format is append-only and stream-writable (the Recorder drains its
+// ring here), deterministic (no wall-clock state), and self-describing
+// (readers skip record types they don't know).
+type lineRecord struct {
+	T        string    `json:"t"`
+	Manifest *Manifest `json:"manifest,omitempty"`
+	Event    *Event    `json:"event,omitempty"`
+	Summary  *Summary  `json:"summary,omitempty"`
+}
+
+// RunWriter streams a run file. Methods are not concurrency-safe; the
+// Recorder serializes access through its own lock.
+type RunWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewRunWriter returns a writer streaming to w.
+func NewRunWriter(w io.Writer) *RunWriter {
+	bw := bufio.NewWriter(w)
+	return &RunWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// WriteManifest writes the opening manifest record.
+func (w *RunWriter) WriteManifest(m Manifest) error {
+	return w.enc.Encode(lineRecord{T: "manifest", Manifest: &m})
+}
+
+// WriteEvent writes one event record.
+func (w *RunWriter) WriteEvent(e Event) error {
+	return w.enc.Encode(lineRecord{T: "event", Event: &e})
+}
+
+// WriteSummary writes the closing summary record.
+func (w *RunWriter) WriteSummary(s Summary) error {
+	return w.enc.Encode(lineRecord{T: "summary", Summary: &s})
+}
+
+// Flush flushes buffered output to the underlying writer.
+func (w *RunWriter) Flush() error { return w.bw.Flush() }
+
+// Run is a fully parsed run file.
+type Run struct {
+	Manifest Manifest
+	Events   []Event
+	Summary  Summary
+	// HasSummary reports whether a summary record was present (a run cut
+	// short before Recorder.Close leaves none).
+	HasSummary bool
+}
+
+// ReadRun parses a run file from r. Unknown record types are skipped so
+// the format can grow.
+func ReadRun(r io.Reader) (*Run, error) {
+	run := &Run{}
+	sawManifest := false
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec lineRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: run file line %d: %w", lineNo, err)
+		}
+		switch rec.T {
+		case "manifest":
+			if rec.Manifest != nil {
+				run.Manifest = *rec.Manifest
+				sawManifest = true
+			}
+		case "event":
+			if rec.Event != nil {
+				run.Events = append(run.Events, *rec.Event)
+			}
+		case "summary":
+			if rec.Summary != nil {
+				run.Summary = *rec.Summary
+				run.HasSummary = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: run file: %w", err)
+	}
+	if !sawManifest {
+		return nil, fmt.Errorf("telemetry: run file has no manifest record")
+	}
+	return run, nil
+}
+
+// ReadRunFile parses the run file at path.
+func ReadRunFile(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	run, err := ReadRun(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return run, nil
+}
+
+// Delta is one metric whose value differs between two runs.
+type Delta struct {
+	// Metric is the flattened metric name (see MetricsSnapshot.Flatten).
+	Metric string `json:"metric"`
+	// A and B are the metric's values in each run (0 when missing —
+	// see MissingIn).
+	A float64 `json:"a"`
+	B float64 `json:"b"`
+	// Rel is |A-B| / max(|A|,|B|), the relative delta compared against
+	// the threshold.
+	Rel float64 `json:"rel"`
+	// MissingIn is "a" or "b" when the metric exists in only one run.
+	MissingIn string `json:"missing_in,omitempty"`
+}
+
+func relDelta(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	// a != b implies max(|a|,|b|) > 0.
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+// DiffRuns compares two runs' metric snapshots and returns every metric
+// whose relative delta exceeds threshold (plus metrics present in only
+// one run), sorted by descending relative delta then name. Two runs of
+// the same experiment and seed diff empty at any threshold ≥ 0; two
+// seeds of the same experiment surface exactly the metrics that moved —
+// the seed-to-seed regression detector.
+func DiffRuns(a, b *Run, threshold float64) []Delta {
+	fa := a.Summary.Metrics.Flatten()
+	fb := b.Summary.Metrics.Flatten()
+	var out []Delta
+	for name, va := range fa {
+		vb, ok := fb[name]
+		if !ok {
+			out = append(out, Delta{Metric: name, A: va, Rel: 1, MissingIn: "b"})
+			continue
+		}
+		if rel := relDelta(va, vb); rel > threshold {
+			out = append(out, Delta{Metric: name, A: va, B: vb, Rel: rel})
+		}
+	}
+	for name, vb := range fb {
+		if _, ok := fa[name]; !ok {
+			out = append(out, Delta{Metric: name, B: vb, Rel: 1, MissingIn: "a"})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel > out[j].Rel
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"unap2p/internal/metrics"
+)
+
+func writeTestRun(t *testing.T, man Manifest, events []Event, snap MetricsSnapshot) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewRunWriter(&buf)
+	if err := w.WriteManifest(man); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := w.WriteEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WriteSummary(Summary{Events: uint64(len(events)), Metrics: snap}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	man := Manifest{Name: "rt", Experiment: "exp-x", Seed: 5, Scale: 2,
+		Params: map[string]string{"k": "v"}}
+	events := []Event{
+		{At: 1, Cat: CatTransport, Type: "ping", From: 0, To: 3, Bytes: 64, Latency: 12.5},
+		{At: 2, Cat: CatChurn, Type: "leave", From: 1, To: -1},
+	}
+	snap := newMetricsSnapshot()
+	snap.Counters["c"] = 7
+	buf := writeTestRun(t, man, events, snap)
+
+	run, err := ReadRun(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Manifest.Experiment != "exp-x" || run.Manifest.Seed != 5 || run.Manifest.Params["k"] != "v" {
+		t.Fatalf("manifest round trip failed: %+v", run.Manifest)
+	}
+	if len(run.Events) != 2 || run.Events[0].Latency != 12.5 || run.Events[1].Type != "leave" {
+		t.Fatalf("events round trip failed: %+v", run.Events)
+	}
+	if !run.HasSummary || run.Summary.Metrics.Counters["c"] != 7 {
+		t.Fatalf("summary round trip failed: %+v", run.Summary)
+	}
+}
+
+func TestReadRunRejectsGarbage(t *testing.T) {
+	if _, err := ReadRun(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("expected error on malformed line")
+	}
+	if _, err := ReadRun(strings.NewReader(`{"t":"event","event":{"cat":"x"}}` + "\n")); err == nil {
+		t.Fatal("expected error on run without manifest")
+	}
+}
+
+func snapWith(counters map[string]uint64) MetricsSnapshot {
+	s := newMetricsSnapshot()
+	for k, v := range counters {
+		s.Counters[k] = v
+	}
+	return s
+}
+
+func runWith(counters map[string]uint64) *Run {
+	return &Run{Summary: Summary{Metrics: snapWith(counters)}, HasSummary: true}
+}
+
+func TestDiffRunsIdentical(t *testing.T) {
+	a := runWith(map[string]uint64{"x": 100, "y": 3})
+	b := runWith(map[string]uint64{"x": 100, "y": 3})
+	if ds := DiffRuns(a, b, 0); len(ds) != 0 {
+		t.Fatalf("identical runs diff: %+v", ds)
+	}
+}
+
+func TestDiffRunsThreshold(t *testing.T) {
+	a := runWith(map[string]uint64{"x": 100, "y": 1000})
+	b := runWith(map[string]uint64{"x": 103, "y": 1500})
+	ds := DiffRuns(a, b, 0.05)
+	if len(ds) != 1 || ds[0].Metric != "y" {
+		t.Fatalf("want only y flagged at 5%%, got %+v", ds)
+	}
+	// Largest relative delta sorts first at threshold 0.
+	ds = DiffRuns(a, b, 0)
+	if len(ds) != 2 || ds[0].Metric != "y" || ds[1].Metric != "x" {
+		t.Fatalf("want [y x], got %+v", ds)
+	}
+}
+
+func TestDiffRunsMissingMetric(t *testing.T) {
+	a := runWith(map[string]uint64{"x": 1, "only_a": 5})
+	b := runWith(map[string]uint64{"x": 1, "only_b": 9})
+	ds := DiffRuns(a, b, 0.5)
+	if len(ds) != 2 {
+		t.Fatalf("want both one-sided metrics flagged, got %+v", ds)
+	}
+	for _, d := range ds {
+		if d.MissingIn == "" {
+			t.Fatalf("delta %+v should be marked one-sided", d)
+		}
+	}
+}
+
+func TestDiffRunsHistogramStats(t *testing.T) {
+	ha := metrics.NewLatencyHistogram()
+	hb := metrics.NewLatencyHistogram()
+	for i := 0; i < 100; i++ {
+		ha.Observe(10)
+		hb.Observe(30)
+	}
+	sa, sb := newMetricsSnapshot(), newMetricsSnapshot()
+	sa.Histograms["lat"] = ha.Snapshot()
+	sb.Histograms["lat"] = hb.Snapshot()
+	ds := DiffRuns(
+		&Run{Summary: Summary{Metrics: sa}, HasSummary: true},
+		&Run{Summary: Summary{Metrics: sb}, HasSummary: true}, 0.05)
+	found := false
+	for _, d := range ds {
+		if d.Metric == "lat.mean" {
+			found = true
+		}
+		if d.Metric == "lat.n" {
+			t.Fatalf("sample counts are equal, must not be flagged: %+v", d)
+		}
+	}
+	if !found {
+		t.Fatalf("histogram mean shift not flagged: %+v", ds)
+	}
+}

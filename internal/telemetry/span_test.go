@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"unap2p/internal/overlay/kademlia"
+	"unap2p/internal/sim"
+	"unap2p/internal/transport"
+)
+
+func TestSpanNestingAndDurations(t *testing.T) {
+	tr := NewSpanTracer(nil)
+	root := tr.Begin("lookup")
+	tr.Advance(10)
+	hop1 := tr.Begin("rpc:find")
+	tr.Advance(30)
+	tr.End(hop1)
+	hop2 := tr.Begin("rpc:find")
+	tr.Advance(20)
+	tr.End(hop2)
+	tr.End(root)
+
+	if len(tr.Roots()) != 1 {
+		t.Fatalf("want 1 root, got %d", len(tr.Roots()))
+	}
+	if got := root.Duration(); got != 60 {
+		t.Fatalf("root duration = %v, want 60", got)
+	}
+	if got := root.SelfDuration(); got != 10 {
+		t.Fatalf("root self duration = %v, want 10", got)
+	}
+	if len(root.Children()) != 2 {
+		t.Fatalf("want 2 children, got %d", len(root.Children()))
+	}
+	if hop1.Duration() != 30 || hop2.Duration() != 20 {
+		t.Fatalf("hop durations = %v, %v", hop1.Duration(), hop2.Duration())
+	}
+}
+
+func TestSpanEndClosesOpenDescendants(t *testing.T) {
+	tr := NewSpanTracer(nil)
+	root := tr.Begin("outer")
+	tr.Begin("inner") // never explicitly ended
+	tr.Advance(5)
+	tr.End(root)
+	if root.End != 5 || root.Children()[0].End != 5 {
+		t.Fatalf("dangling child not closed with parent: %+v", root.Children()[0])
+	}
+	// Ending a span that is no longer on the stack is a no-op.
+	tr.End(root)
+}
+
+func TestSpanBreakdownAggregates(t *testing.T) {
+	tr := NewSpanTracer(nil)
+	for i := 0; i < 3; i++ {
+		s := tr.Begin("query")
+		tr.Advance(10)
+		tr.End(s)
+	}
+	b := tr.Breakdown()
+	if len(b) != 1 || b[0].Name != "query" || b[0].Count != 3 || b[0].Total != 30 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+}
+
+func TestSpanTracerKernelClock(t *testing.T) {
+	k := sim.NewKernel()
+	tr := NewSpanTracer(k.Clock())
+	var sp *Span
+	k.Schedule(100, func() { sp = tr.Begin("work") })
+	k.Schedule(250, func() { tr.End(sp) })
+	k.Drain()
+	if sp.Start != 100 || sp.End != 250 {
+		t.Fatalf("span [%v, %v], want [100, 250]", sp.Start, sp.End)
+	}
+}
+
+// TestTracedMessengerKademliaLookup is the headline span-tracing use
+// case: a Kademlia lookup through a traced Messenger yields a span tree
+// of per-hop RPCs under one lookup span, answering "where did the
+// latency go" without touching overlay code.
+func TestTracedMessengerKademliaLookup(t *testing.T) {
+	net, _ := testNet(9)
+	src := sim.NewSource(9)
+	tracer := NewSpanTracer(nil)
+	msgr := TraceMessenger(transport.Over(net), tracer)
+	d := kademlia.New(msgr, nil, kademlia.DefaultConfig(), src.Stream("dht"))
+	hosts := net.Hosts()
+	for _, h := range hosts {
+		d.AddNode(h)
+	}
+	d.Bootstrap(4)
+
+	before := tracer.Count()
+	root := tracer.Begin("lookup")
+	res := d.Lookup(hosts[0].ID, d.Nodes()[len(d.Nodes())-1].ID)
+	tracer.End(root)
+
+	if res.Hops == 0 {
+		t.Fatal("lookup made no hops; test is vacuous")
+	}
+	rpcs := 0
+	var total sim.Duration
+	for _, c := range root.Children() {
+		if !strings.HasPrefix(c.Name, "rpc:") {
+			t.Fatalf("unexpected child span %q", c.Name)
+		}
+		rpcs++
+		total += c.Duration()
+	}
+	if rpcs == 0 {
+		t.Fatal("lookup produced no RPC child spans")
+	}
+	if tracer.Count() == before+1 {
+		t.Fatal("traced messenger recorded no spans")
+	}
+	if root.Duration() != total {
+		t.Fatalf("lookup span %v != sum of hop spans %v", root.Duration(), total)
+	}
+	if r := tracer.Render(); !strings.Contains(r, "lookup") || !strings.Contains(r, "rpc:") {
+		t.Fatalf("render missing spans:\n%s", r)
+	}
+}
+
+func TestSpanEmitTo(t *testing.T) {
+	tr := NewSpanTracer(nil)
+	root := tr.Begin("lookup")
+	hop := tr.Begin("rpc:find")
+	tr.Advance(25)
+	tr.End(hop)
+	tr.End(root)
+
+	rec := NewRecorder(Config{Capacity: 16})
+	tr.EmitTo(rec)
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("emitted %d events, want 2", len(evs))
+	}
+	if evs[0].Cat != CatSpan || evs[0].Type != "lookup" || evs[0].Latency != 25 {
+		t.Fatalf("bad root span event %+v", evs[0])
+	}
+	if evs[1].Type != "rpc:find" || evs[1].Detail != "lookup" {
+		t.Fatalf("bad child span event %+v", evs[1])
+	}
+}

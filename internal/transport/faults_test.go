@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"testing"
+
+	"unap2p/internal/sim"
+)
+
+// Edge tests for fault injection and the accounting identities that the
+// telemetry layer snapshots rely on.
+
+func TestJitterMaxBoundsExtraLatency(t *testing.T) {
+	net := testNet()
+	hosts := net.Hosts()
+	a, b := hosts[0], hosts[3]
+	base := net.Latency(a, b)
+
+	tr := Over(net)
+	tr.Faults = Faults{
+		ExtraDelay: 10,
+		JitterMax:  7,
+		Rand:       sim.NewSource(9).Stream("faults"),
+	}
+	for i := 0; i < 200; i++ {
+		res := tr.Send(a, b, 10, "j")
+		if !res.OK {
+			t.Fatal("jitter-only faults must not drop")
+		}
+		extra := res.Latency - base
+		if extra < 10 || extra >= 17 {
+			t.Fatalf("send %d: extra delay %v outside [ExtraDelay, ExtraDelay+JitterMax)", i, extra)
+		}
+	}
+}
+
+func TestJitterMaxWithoutRandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("JitterMax without Rand must panic, not silently skip jitter")
+		}
+	}()
+	tr := Over(testNet())
+	tr.Faults = Faults{JitterMax: 5}
+	hosts := tr.Underlay().Hosts()
+	tr.Send(hosts[0], hosts[1], 10, "j")
+}
+
+func TestLossRateWithoutRandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LossRate without Rand must panic, not silently deliver")
+		}
+	}()
+	tr := Over(testNet())
+	tr.Faults = Faults{LossRate: 0.5}
+	hosts := tr.Underlay().Hosts()
+	tr.Send(hosts[0], hosts[1], 10, "l")
+}
+
+// TestRoundTripRetryAccounting pins the retry bookkeeping identities
+// under heavy loss: every attempt (including retried legs) is a real,
+// counted message; replies are only ever attempted after a delivered
+// request; and reported successes equal delivered replies.
+func TestRoundTripRetryAccounting(t *testing.T) {
+	net := testNet()
+	tr := Over(net)
+	tr.Retries = 3
+	tr.Faults = Faults{
+		LossRate: 0.3,
+		Rand:     sim.NewSource(7).Stream("faults"),
+	}
+	hosts := net.Hosts()
+	successes := uint64(0)
+	const trips = 300
+	for i := 0; i < trips; i++ {
+		if tr.RoundTrip(hosts[i%len(hosts)], hosts[(i*5+1)%len(hosts)], 80, 40, "req", "resp").OK {
+			successes++
+		}
+	}
+	req, resp := tr.StatsFor("req"), tr.StatsFor("resp")
+	if req.Msgs < trips {
+		t.Fatalf("req attempts %d < %d trips — retries not counted as real messages", req.Msgs, trips)
+	}
+	if req.Dropped == 0 || resp.Dropped == 0 {
+		t.Fatal("30% loss dropped nothing; test is vacuous")
+	}
+	deliveredReq := req.Msgs - req.Dropped
+	if resp.Msgs != deliveredReq {
+		t.Fatalf("resp attempts %d, want one per delivered request %d", resp.Msgs, deliveredReq)
+	}
+	if got := resp.Msgs - resp.Dropped; got != successes {
+		t.Fatalf("delivered replies %d, want %d reported successes", got, successes)
+	}
+	if successes == 0 || successes == trips {
+		t.Fatalf("successes = %d of %d; loss+retry should yield a strict mix", successes, trips)
+	}
+}
+
+// TestInterBytesAfterDrops pins the byte-accounting identity under loss:
+// dropped messages charge nothing, so delivered bytes (and their
+// intra/inter split) cover exactly the messages that got through.
+func TestInterBytesAfterDrops(t *testing.T) {
+	net := testNet()
+	tr := Over(net)
+	tr.Faults = Faults{
+		LossRate: 0.4,
+		Rand:     sim.NewSource(3).Stream("faults"),
+	}
+	hosts := net.Hosts()
+	const size = 64
+	for i := 0; i < 400; i++ {
+		tr.Send(hosts[i%len(hosts)], hosts[(i*3+2)%len(hosts)], size, "d")
+	}
+	st := tr.StatsFor("d")
+	if st.Dropped == 0 {
+		t.Fatal("40% loss dropped nothing; test is vacuous")
+	}
+	if want := (st.Msgs - st.Dropped) * size; st.Bytes != want {
+		t.Fatalf("delivered bytes %d, want %d (drops must charge nothing)", st.Bytes, want)
+	}
+	if st.IntraBytes > st.Bytes {
+		t.Fatalf("intra bytes %d exceed delivered bytes %d", st.IntraBytes, st.Bytes)
+	}
+	if got := st.InterBytes(); got != st.Bytes-st.IntraBytes {
+		t.Fatalf("InterBytes = %d, want Bytes-IntraBytes = %d", got, st.Bytes-st.IntraBytes)
+	}
+	if st.IntraBytes%size != 0 {
+		t.Fatalf("intra bytes %d is not a whole number of messages", st.IntraBytes)
+	}
+}
+
+// TestEventLogKeepsLastN exercises the in-place event log: implicit
+// overwrite of the oldest entries, loss accounting at drain time, and
+// type-tag resolution.
+func TestEventLogKeepsLastN(t *testing.T) {
+	net := testNet()
+	tr := Over(net)
+	l := NewEventLog(4)
+	tr.SetEventLog(l)
+	hosts := net.Hosts()
+	for i := 0; i < 10; i++ {
+		tr.Send(hosts[0], hosts[1], uint64(100+i), "e")
+	}
+	if l.Written() != 10 {
+		t.Fatalf("written = %d, want 10", l.Written())
+	}
+	var got []uint64
+	lost := l.Drain(func(e *LogEntry) {
+		got = append(got, e.Bytes)
+		if tr.TypeByID(e.Type) != "e" {
+			t.Fatalf("type tag %d resolves to %q, want \"e\"", e.Type, tr.TypeByID(e.Type))
+		}
+		if e.From != int32(hosts[0].ID) || e.To != int32(hosts[1].ID) {
+			t.Fatalf("bad endpoints: %+v", e)
+		}
+	})
+	if lost != 6 {
+		t.Fatalf("lost = %d, want 6", lost)
+	}
+	if len(got) != 4 || got[0] != 106 || got[3] != 109 {
+		t.Fatalf("retained = %v, want [106 107 108 109]", got)
+	}
+	// A drained log is empty and resumes cleanly.
+	if lost := l.Drain(func(*LogEntry) { t.Fatal("drained twice") }); lost != 0 {
+		t.Fatalf("second drain lost %d", lost)
+	}
+	tr.Send(hosts[0], hosts[1], 500, "e")
+	var after []uint64
+	if lost := l.Drain(func(e *LogEntry) { after = append(after, e.Bytes) }); lost != 0 {
+		t.Fatal("no overwrite expected after resume")
+	}
+	if len(after) != 1 || after[0] != 500 {
+		t.Fatalf("after resume = %v, want [500]", after)
+	}
+}
+
+// TestEventLogSeesDrops mirrors TestTraceSeesDropsAndDeliveries for the
+// log path: dropped messages appear with Dropped set and zero latency.
+func TestEventLogSeesDrops(t *testing.T) {
+	net := testNet()
+	tr := Over(net)
+	tr.Faults = Faults{LossRate: 0.5, Rand: sim.NewSource(5).Stream("faults")}
+	l := NewEventLog(256)
+	tr.SetEventLog(l)
+	hosts := net.Hosts()
+	for i := 0; i < 100; i++ {
+		tr.Send(hosts[i%len(hosts)], hosts[(i+1)%len(hosts)], 10, "d")
+	}
+	drops := uint64(0)
+	l.Drain(func(e *LogEntry) {
+		if e.Dropped {
+			drops++
+			if e.Latency != 0 {
+				t.Fatalf("dropped event has latency %v", e.Latency)
+			}
+		} else if e.Latency <= 0 {
+			t.Fatalf("delivered event has latency %v", e.Latency)
+		}
+	})
+	if want := tr.StatsFor("d").Dropped; drops != want {
+		t.Fatalf("log saw %d drops, stats say %d", drops, want)
+	}
+}

@@ -9,6 +9,7 @@
 //	transport.Transport ── THIS LAYER: counts, traces, injects faults
 //	overlays (gnutella, kademlia, chord, …) ── protocol logic only
 //	metrics ── counters, histograms, AS-pair traffic matrices
+//	telemetry ── observes it all: run recording, span tracing, exports
 //
 // Every overlay message — one-way sends, request/reply round trips, and
 // latency probes — goes through a Transport, which provides:
@@ -58,6 +59,9 @@ type Event struct {
 	Latency sim.Duration
 	// Dropped reports that fault injection discarded the message.
 	Dropped bool
+	// At is the simulated send time, stamped from the transport's kernel
+	// (0 for kernel-less transports, whose sends are not on a timeline).
+	At sim.Time
 }
 
 // Faults configures deterministic fault injection. The zero value injects
@@ -111,6 +115,9 @@ type typeStats struct {
 	msgs, dropped     uint64
 	bytes, intraBytes uint64
 	latency           *metrics.Histogram
+	// id is the dense index of this type in Transport.typeNames, used as
+	// the pointer-free type tag in event log entries.
+	id uint32
 }
 
 // Stats is a read-only snapshot of one message type's accounting.
@@ -143,10 +150,15 @@ type Transport struct {
 	Retries int
 	// Trace, when non-nil, observes every message (including drops).
 	Trace func(Event)
+	// log, when non-nil, receives every message event in place — see
+	// EventLog and SetEventLog.
+	log *EventLog
 
 	msgs     *metrics.CounterSet
 	types    map[string]*typeStats
 	matrices map[string]*metrics.TrafficMatrix
+	// typeNames maps typeStats.id back to the message type string.
+	typeNames []string
 }
 
 var _ Messenger = (*Transport)(nil)
@@ -201,14 +213,122 @@ func (t *Transport) MatrixFor(msgTypes ...string) *metrics.TrafficMatrix {
 	return m
 }
 
+// now returns the kernel's simulated time for event stamping (0 when the
+// transport is kernel-less).
+func (t *Transport) now() sim.Time {
+	if t.k == nil {
+		return 0
+	}
+	return t.k.Now()
+}
+
+// AddTrace chains fn after any already-installed Trace observer, so
+// several consumers (a debug printer, a telemetry recorder) can watch the
+// same transport without clobbering each other.
+func (t *Transport) AddTrace(fn func(Event)) {
+	if fn == nil {
+		return
+	}
+	if prev := t.Trace; prev != nil {
+		t.Trace = func(e Event) { prev(e); fn(e) }
+		return
+	}
+	t.Trace = fn
+}
+
+// LogEntry is the on-ring representation of one message event. It is
+// deliberately pointer-free — host IDs instead of *Host, a dense type
+// tag (see Transport.TypeByID) instead of the type string — so the
+// in-place fill in Send compiles to a handful of plain stores with no
+// GC write barrier and no stack temporary.
+type LogEntry struct {
+	// At is the simulated send time (0 for kernel-less transports).
+	At sim.Time
+	// Latency is the one-way delivery latency (0 when dropped).
+	Latency sim.Duration
+	// Bytes is the message payload size.
+	Bytes uint64
+	// From and To are the endpoint host IDs.
+	From, To int32
+	// Type is the message type tag; resolve with Transport.TypeByID.
+	Type uint32
+	// Dropped reports that fault injection discarded the message.
+	Dropped bool
+}
+
+// EventLog is a fixed-size ring of message events that Send fills in
+// place, keeping the last capacity events — the near-zero-cost
+// alternative to a Trace callback for high-rate consumers (the telemetry
+// recorder's staging buffer). Unlike Trace, whose indirect call and
+// argument copy cost tens of nanoseconds per message, the log append
+// inlines into Send as a single in-place struct store: older events are
+// overwritten implicitly by the masked write, so the hot path carries no
+// overflow branch; Drain reconstructs the overwrite count afterwards. A
+// log is written by the one goroutine driving its transport and must
+// only be drained after that goroutine is quiescent.
+type EventLog struct {
+	buf  []LogEntry // power-of-two length; the next slot is buf[w&(len-1)]
+	w    uint64     // events written so far
+	done uint64     // events already consumed by Drain
+}
+
+// NewEventLog returns a log holding up to capacity events (rounded up to
+// a power of two; minimum 1).
+func NewEventLog(capacity int) *EventLog {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &EventLog{buf: make([]LogEntry, size)}
+}
+
+// slot claims the ring slot for the next event; Send constructs the
+// event directly into it. Kept trivial so it inlines into the send
+// path; the len-1 masking idiom also lets the compiler drop the bounds
+// check.
+func (l *EventLog) slot() *LogEntry {
+	p := &l.buf[l.w&uint64(len(l.buf)-1)]
+	l.w++
+	return p
+}
+
+// Written reports the total events appended so far.
+func (l *EventLog) Written() uint64 { return l.w }
+
+// Drain invokes fn on every retained event in arrival order, empties the
+// log, and returns how many events were overwritten (lost) since the
+// previous drain.
+func (l *EventLog) Drain(fn func(*LogEntry)) (lost uint64) {
+	lo := l.done
+	if l.w-lo > uint64(len(l.buf)) {
+		lost = l.w - lo - uint64(len(l.buf))
+		lo = l.w - uint64(len(l.buf))
+	}
+	for i := lo; i < l.w; i++ {
+		fn(&l.buf[i&uint64(len(l.buf)-1)])
+	}
+	l.done = l.w
+	return lost
+}
+
+// SetEventLog attaches (or, with nil, detaches) the transport's event
+// log. A transport has at most one log — attaching replaces any previous
+// one; use AddTrace for additional lower-rate observers.
+func (t *Transport) SetEventLog(l *EventLog) { t.log = l }
+
 func (t *Transport) stats(msgType string) *typeStats {
 	st, ok := t.types[msgType]
 	if !ok {
-		st = &typeStats{latency: metrics.NewLatencyHistogram()}
+		st = &typeStats{latency: metrics.NewLatencyHistogram(), id: uint32(len(t.typeNames))}
 		t.types[msgType] = st
+		t.typeNames = append(t.typeNames, msgType)
 	}
 	return st
 }
+
+// TypeByID resolves an event log entry's type tag back to the message
+// type string.
+func (t *Transport) TypeByID(id uint32) string { return t.typeNames[id] }
 
 // dropped draws the loss decision for one message.
 func (t *Transport) dropped() bool {
@@ -243,8 +363,12 @@ func (t *Transport) Send(from, to *underlay.Host, bytes uint64, msgType string) 
 	st.msgs++
 	if t.dropped() {
 		st.dropped++
+		if l := t.log; l != nil {
+			*l.slot() = LogEntry{At: t.now(), Bytes: bytes,
+				From: int32(from.ID), To: int32(to.ID), Type: st.id, Dropped: true}
+		}
 		if t.Trace != nil {
-			t.Trace(Event{From: from, To: to, Type: msgType, Bytes: bytes, Dropped: true})
+			t.Trace(Event{From: from, To: to, Type: msgType, Bytes: bytes, Dropped: true, At: t.now()})
 		}
 		return Result{}
 	}
@@ -260,8 +384,12 @@ func (t *Transport) Send(from, to *underlay.Host, bytes uint64, msgType string) 
 	if m := t.matrices[msgType]; m != nil {
 		m.Add(from.AS.ID, to.AS.ID, bytes)
 	}
+	if l := t.log; l != nil {
+		*l.slot() = LogEntry{At: t.now(), Latency: lat, Bytes: bytes,
+			From: int32(from.ID), To: int32(to.ID), Type: st.id}
+	}
 	if t.Trace != nil {
-		t.Trace(Event{From: from, To: to, Type: msgType, Bytes: bytes, Latency: lat})
+		t.Trace(Event{From: from, To: to, Type: msgType, Bytes: bytes, Latency: lat, At: t.now()})
 	}
 	return Result{Latency: lat, OK: true}
 }
@@ -304,6 +432,22 @@ func (t *Transport) Deliver(from, to *underlay.Host, bytes uint64, msgType strin
 	}
 	t.k.Schedule(res.Latency, fn)
 	return true
+}
+
+// TrafficMatrices returns each registered matrix exactly once, keyed by
+// the sorted "+"-joined message types that share it — the enumeration the
+// telemetry exporter snapshots.
+func (t *Transport) TrafficMatrices() map[string]*metrics.TrafficMatrix {
+	byMatrix := make(map[*metrics.TrafficMatrix][]string)
+	for ty, m := range t.matrices {
+		byMatrix[m] = append(byMatrix[m], ty)
+	}
+	out := make(map[string]*metrics.TrafficMatrix, len(byMatrix))
+	for m, tys := range byMatrix {
+		sort.Strings(tys)
+		out[strings.Join(tys, "+")] = m
+	}
+	return out
 }
 
 // TypeNames returns every message type seen so far, sorted.
