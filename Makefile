@@ -4,13 +4,15 @@ GO ?= go
 # for publication-quality numbers.
 BENCHTIME ?= 100ms
 
-.PHONY: ci vet build test race bench bench-json cover
+.PHONY: ci vet build test race bench bench-json cover series-demo
 
 # ci is the full verification gate: static analysis, a clean build of
-# every package, and the test suite under the race detector. Benchmarks
-# and the coverage summary run afterwards as non-fatal reporting steps
-# (a perf regression or coverage dip is visible but does not gate).
-ci: vet build race
+# every package, the test suite under the race detector, and an
+# end-to-end smoke of the probe plane (record → sample → series).
+# Benchmarks and the coverage summary run afterwards as non-fatal
+# reporting steps (a perf regression or coverage dip is visible but
+# does not gate).
+ci: vet build race series-demo
 	-$(MAKE) bench
 	-$(MAKE) cover
 
@@ -44,3 +46,12 @@ bench-json:
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
+
+# series-demo exercises the whole probe pipeline end to end: record a
+# Gnutella experiment with a 50 ms sim-time probe, then render its
+# convergence curves as sparklines. A smoke test for record → sample →
+# series, and the quickest way to see what the probe plane produces.
+SERIES_RUN ?= /tmp/unap2p-series-demo.jsonl
+series-demo:
+	$(GO) run ./cmd/unapctl record -exp exp-intra-as -scale 0.5 -probe 50 -o $(SERIES_RUN)
+	$(GO) run ./cmd/unapctl series -metric 'health:*' $(SERIES_RUN)

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	unapctl record -exp <id> [-seed N] [-scale S] [-o run.jsonl] [-events N] [-prom metrics.txt]
+//	unapctl record -exp <id> [-seed N] [-scale S] [-o run.jsonl] [-events N] [-prom metrics.txt] [-probe MS] [-serve addr]
 //	unapctl report <run.jsonl>
 //	unapctl diff [-threshold 0.02] <a.jsonl> <b.jsonl>
+//	unapctl series [-metric glob] [-csv] <run.jsonl>
 //	unapctl bench-import [-o BENCH.json]        (go test -bench output on stdin)
 //
 // Exit codes: 0 success (for diff: no delta beyond threshold), 1 diff
@@ -20,6 +21,7 @@ import (
 	"sort"
 
 	"unap2p/internal/experiments"
+	"unap2p/internal/sim"
 	"unap2p/internal/telemetry"
 )
 
@@ -40,6 +42,8 @@ func main() {
 		if err == nil && deltas > 0 {
 			os.Exit(1)
 		}
+	case "series":
+		err = cmdSeries(os.Args[2:])
 	case "bench-import":
 		err = cmdBenchImport(os.Args[2:])
 	case "-h", "--help", "help":
@@ -59,9 +63,12 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `unapctl — telemetry run management for unap2p
 
-  unapctl record -exp <id> [-seed N] [-scale S] [-o run.jsonl] [-events N] [-prom metrics.txt]
+  unapctl record -exp <id> [-seed N] [-scale S] [-o run.jsonl] [-events N] [-prom metrics.txt] [-probe MS] [-serve addr]
       run an experiment with a telemetry Recorder attached and write a
-      run file (manifest + JSONL events + closing metrics snapshot)
+      run file (manifest + JSONL events + closing metrics snapshot);
+      -probe attaches a sim-time Probe sampling every MS simulated
+      milliseconds (sample records in the run file, for 'series');
+      -serve exposes live /metrics + /debug/pprof/ while it runs
 
   unapctl report <run.jsonl>
       summarize a run file: manifest, event counts, headline metrics
@@ -69,6 +76,11 @@ func usage() {
   unapctl diff [-threshold 0.02] <a.jsonl> <b.jsonl>
       compare two runs' metric snapshots; exits 1 listing every metric
       whose relative delta exceeds the threshold, 0 when none does
+
+  unapctl series [-metric glob] [-csv] [-constant] [-width N] <run.jsonl>
+      render the probe samples of a run file as per-metric ASCII
+      sparklines (or CSV for plotting); record with -probe to get
+      samples
 
   unapctl bench-import [-o BENCH.json]
       parse 'go test -bench -benchmem' output from stdin into JSON
@@ -87,12 +99,17 @@ func cmdRecord(args []string) error {
 		seed   = fs.Int64("seed", 1, "random seed")
 		scale  = fs.Float64("scale", 1.0, "workload scale factor")
 		out    = fs.String("o", "run.jsonl", "run file to write")
-		events = fs.Int("events", 1<<16, "event ring capacity")
-		prom   = fs.String("prom", "", "also write the metrics snapshot in Prometheus text format")
+		events   = fs.Int("events", 1<<16, "event ring capacity")
+		prom     = fs.String("prom", "", "also write the metrics snapshot in Prometheus text format")
+		probeMS  = fs.Float64("probe", 0, "attach a Probe sampling every N simulated ms (0 = off)")
+		serveOn  = fs.String("serve", "", "serve live /metrics and /debug/pprof/ on this address while recording (implies -probe 100 unless set)")
 	)
 	fs.Parse(args)
 	if *exp == "" {
 		return fmt.Errorf("record: -exp is required")
+	}
+	if *serveOn != "" && *probeMS <= 0 {
+		*probeMS = 100 // live /metrics needs a sampler refreshing the snapshot
 	}
 
 	f, err := os.Create(*out)
@@ -112,6 +129,19 @@ func cmdRecord(args []string) error {
 		},
 	})
 	cfg := experiments.RunConfig{Seed: *seed, Scale: *scale, Obs: rec}
+	var probe *telemetry.Probe
+	if *probeMS > 0 {
+		probe = telemetry.NewProbe(rec, telemetry.ProbeConfig{Interval: sim.Duration(*probeMS)})
+		cfg.Obs = probe
+	}
+	if *serveOn != "" {
+		srv, err := telemetry.Serve(*serveOn, probe.LatestSnapshot)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+	}
 	res, err := experiments.Run(*exp, cfg)
 	if err != nil {
 		return err
@@ -121,8 +151,8 @@ func cmdRecord(args []string) error {
 		return fmt.Errorf("record: %w", err)
 	}
 	sum := rec.Summary()
-	fmt.Fprintf(os.Stderr, "recorded %d events, %d metrics to %s\n",
-		sum.Events, len(sum.Metrics.Flatten()), *out)
+	fmt.Fprintf(os.Stderr, "recorded %d events, %d samples, %d metrics to %s\n",
+		sum.Events, sum.Samples, len(sum.Metrics.Flatten()), *out)
 
 	if *prom != "" {
 		if err := os.WriteFile(*prom, []byte(sum.Metrics.PrometheusText()), 0o644); err != nil {

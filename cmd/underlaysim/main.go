@@ -15,6 +15,7 @@ import (
 
 	"unap2p/internal/experiments"
 	"unap2p/internal/report"
+	"unap2p/internal/telemetry"
 )
 
 // emit prints a result as text or JSON.
@@ -41,10 +42,29 @@ func main() {
 		seeds   = flag.Int("seeds", 1, "number of consecutive seeds to sweep (parallel)")
 		jsonOut = flag.Bool("json", false, "emit JSON instead of text tables")
 		outDir  = flag.String("out", "", "also save results (txt+json+index) under this directory")
+		serveOn = flag.String("serve", "", "serve live /metrics and /debug/pprof/ on this address while experiments run")
 	)
 	flag.Parse()
 
 	cfg := experiments.RunConfig{Seed: *seed, Scale: *scale}
+	if *serveOn != "" {
+		probe := telemetry.NewProbe(nil, telemetry.ProbeConfig{})
+		if *seeds <= 1 {
+			// A probe samples on the goroutine driving the simulation, so
+			// it cannot be shared across a parallel seed sweep; with -seeds
+			// the server still answers (pprof live, metrics empty).
+			cfg.Obs = probe
+		} else {
+			fmt.Fprintln(os.Stderr, "note: -serve with -seeds > 1 exposes pprof only (a probe samples a single run)")
+		}
+		srv, err := telemetry.Serve(*serveOn, probe.LatestSnapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+	}
 	var rep *report.Writer
 	if *outDir != "" {
 		var err error

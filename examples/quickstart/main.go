@@ -8,7 +8,9 @@
 //
 // With -record run.jsonl a telemetry Recorder rides along and writes a
 // run file; record two seeds and compare them with
-// `go run ./cmd/unapctl diff`.
+// `go run ./cmd/unapctl diff`. With -probe N a sim-time Probe samples
+// every N simulated milliseconds and the Vivaldi convergence curve is
+// printed as a sparkline at exit.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"log"
 	"os"
 
+	"unap2p/internal/coords"
 	"unap2p/internal/core"
 	"unap2p/internal/ipmap"
 	"unap2p/internal/metrics"
@@ -32,6 +35,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	record := flag.String("record", "", "write a telemetry run file (JSONL) here")
+	probeMS := flag.Float64("probe", 0, "sample a sim-time Probe every N simulated ms and print the Vivaldi convergence curve")
 	flag.Parse()
 
 	// 0. Optional observability: a Recorder is a pure observer, so the
@@ -48,6 +52,12 @@ func main() {
 			Sink:     telemetry.NewRunWriter(f),
 			Manifest: telemetry.Manifest{Name: "quickstart", Seed: *seed, Scale: 1},
 		})
+	}
+	// A Probe wraps the recorder (or a standalone one) and samples on a
+	// sim-time tick — also a pure observer.
+	var probe *telemetry.Probe
+	if *probeMS > 0 {
+		probe = telemetry.NewProbe(rec, telemetry.ProbeConfig{Interval: sim.Duration(*probeMS)})
 	}
 
 	// 1. An underlay: 2 transit ISPs, 8 local ISPs, 10 hosts each.
@@ -80,7 +90,10 @@ func main() {
 	build := func(s core.Selector, label string) {
 		k := sim.NewKernel()
 		tr := transport.New(net, k)
-		if rec != nil {
+		if probe != nil {
+			probe.ObserveTransport(tr)
+			probe.ObserveKernel(k) // starts the sim-time sampling tick
+		} else if rec != nil {
 			rec.ObserveTransport(tr)
 			rec.ObserveKernel(k)
 		}
@@ -132,12 +145,38 @@ func main() {
 	fmt.Printf("bootstrap engine: %d estimators, overhead %d, cost(h%d,h%d)=%.1f\n",
 		len(auto.Estimators()), auto.TotalOverhead(), a.ID, b.ID, cost)
 
+	// 5. Observability: converge a Vivaldi coordinate system over the same
+	// hosts, sampling embedding quality each round through the probe —
+	// then read the convergence curve back out of its in-memory series.
+	if probe != nil {
+		rtt := func(i, j int) float64 { return float64(net.RTT(hosts[i], hosts[j])) }
+		vs := coords.NewVivaldiSystem(len(hosts), coords.DefaultVivaldiConfig(), rtt, src.Stream("vivaldi"))
+		probe.ObserveHealth("vivaldi", vs.HealthStats)
+		const rounds = 60
+		for r := 0; r < rounds; r++ {
+			vs.Round()
+			probe.Sample()
+		}
+		// Kernel-tick samples taken before the Vivaldi phase lack the
+		// metric (they render as leading spaces); trim to the finite tail
+		// for the first→last numbers.
+		curve := probe.Series().Values("health:vivaldi:median_rel_error")
+		finite := curve[:0:0]
+		for _, v := range curve {
+			if v == v { // not NaN
+				finite = append(finite, v)
+			}
+		}
+		fmt.Printf("vivaldi convergence (median relative error, %d rounds):\n  %s  %.3f → %.3f\n",
+			rounds, telemetry.Sparkline(finite, rounds), finite[0], finite[len(finite)-1])
+	}
+
 	if rec != nil {
 		if err := rec.Close(); err != nil {
 			log.Fatal(err)
 		}
 		sum := rec.Summary()
-		fmt.Printf("recorded %d events, %d metrics to %s\n",
-			sum.Events, len(sum.Metrics.Flatten()), *record)
+		fmt.Printf("recorded %d events, %d samples, %d metrics to %s\n",
+			sum.Events, sum.Samples, len(sum.Metrics.Flatten()), *record)
 	}
 }

@@ -73,11 +73,17 @@ type Driver struct {
 	Trace func(h *underlay.Host, up bool)
 	// Joins and Leaves count events for reporting.
 	Joins, Leaves uint64
+
+	// hosts remembers every population handed to Start, so Online can
+	// report the live population mid-run (the telemetry probe samples
+	// it as a health gauge).
+	hosts []*underlay.Host
 }
 
 // Start begins the online/offline cycle for each host. Hosts currently up
 // get a session expiry; hosts down get a rejoin time.
 func (d *Driver) Start(hosts []*underlay.Host) {
+	d.hosts = append(d.hosts, hosts...)
 	for _, h := range hosts {
 		h := h
 		if h.Up {
@@ -87,6 +93,21 @@ func (d *Driver) Start(hosts []*underlay.Host) {
 		}
 	}
 }
+
+// Online reports how many driven hosts are currently up — the live
+// population under churn.
+func (d *Driver) Online() int {
+	n := 0
+	for _, h := range d.hosts {
+		if h.Up {
+			n++
+		}
+	}
+	return n
+}
+
+// Population reports how many hosts the driver cycles.
+func (d *Driver) Population() int { return len(d.hosts) }
 
 func (d *Driver) modelFor(h *underlay.Host) Model {
 	if d.ModelFor != nil {

@@ -241,3 +241,19 @@ func median(xs []float64) float64 {
 	}
 	return (s[m-1] + s[m]) / 2
 }
+
+// HealthStats implements the telemetry HealthReporter hook: embedding
+// quality over time — the convergence curve Dabek et al. judge Vivaldi
+// by. MedianRelativeError is an O(n²) all-pairs evaluation, fine at
+// simulated populations; sample accordingly.
+//
+//   - nodes: embedded population
+//   - median_rel_error: median |predicted-actual|/actual RTT error
+//   - probes: cumulative measurements issued (the collection cost)
+func (s *VivaldiSystem) HealthStats() map[string]float64 {
+	return map[string]float64{
+		"nodes":            float64(len(s.Nodes)),
+		"median_rel_error": s.MedianRelativeError(),
+		"probes":           float64(s.Probes),
+	}
+}

@@ -41,6 +41,8 @@ func runBrocade(cfg RunConfig) Result {
 
 	// Landmark overlay over the same population.
 	b := brocade.Build(cfg.newTransportOver(net), &core.ResourceSelector{Table: table}, hosts)
+	cfg.observeHealth("brocade", b.HealthStats)
+	cfg.sampleObs()
 
 	// The same cross-domain message workload through both.
 	probe := src.Stream("probe")

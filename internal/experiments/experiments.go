@@ -24,6 +24,16 @@ import (
 // result, only watch it. All methods are invoked before the component
 // carries workload, and may be invoked from concurrent goroutines during
 // multi-seed sweeps.
+//
+// An observer may additionally implement, with these exact
+// builtin-typed signatures,
+//
+//	ObserveHealth(name string, stats func() map[string]float64)
+//	Sample()
+//
+// to receive overlay-health sources and round-boundary sampling hooks
+// (see observeHealth / sampleObs) — the surface the telemetry Probe
+// adds on top of the Recorder.
 type Observer interface {
 	ObserveTransport(*transport.Transport)
 	ObserveKernel(*sim.Kernel)
@@ -83,6 +93,31 @@ func (c RunConfig) observeMobility(m *mobility.Model) *mobility.Model {
 		c.Obs.ObserveMobility(m)
 	}
 	return m
+}
+
+// observeHealth registers an overlay-health source with the observer
+// when it supports health sampling — the telemetry Probe does, a bare
+// Recorder (or nil) silently doesn't. The capability check is
+// structural over builtin-composed types so this package still never
+// imports internal/telemetry. stats must be a pure deterministic read:
+// the probe calls it mid-run and results must stay bit-identical.
+func (c RunConfig) observeHealth(name string, stats func() map[string]float64) {
+	if o, ok := c.Obs.(interface {
+		ObserveHealth(string, func() map[string]float64)
+	}); ok {
+		o.ObserveHealth(name, stats)
+	}
+}
+
+// sampleObs takes one probe sample, for experiments that drive overlays
+// in rounds without a sim kernel (Kademlia lookup loops, swarm rounds,
+// Vivaldi iterations) — kernel-driven experiments get sampled by the
+// probe's own sim-time tick instead. No-op unless the observer is a
+// sampler (telemetry.Probe).
+func (c RunConfig) sampleObs() {
+	if o, ok := c.Obs.(interface{ Sample() }); ok {
+		o.Sample()
+	}
 }
 
 // DefaultRunConfig returns seed 1, scale 1.

@@ -67,6 +67,10 @@ func buildGnutella(cfg RunConfig, variant string, hostcache int, biasJoin, biasS
 		ov.AddNode(h, true)
 	}
 	ov.JoinAll()
+	// Probe-attached runs get a health curve per variant; the kernel tick
+	// registered by newTransport samples it as the search phase advances
+	// simulated time.
+	cfg.observeHealth("gnutella-"+variant, ov.HealthStats)
 
 	gen := workload.NewQueryGen(net, catalog, hosts, 0.4, 1.0, src.Stream("queries"))
 	return gnutellaSetup{net: net, ov: ov, gen: gen}

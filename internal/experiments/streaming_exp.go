@@ -41,7 +41,20 @@ func runStreaming(cfg RunConfig) Result {
 			m.AddViewer(h)
 		}
 		m.AssignParents()
-		m.Run(cfg.scaled(300))
+		name := "random"
+		if aware {
+			name = "aware"
+		}
+		cfg.observeHealth("streaming-"+name, m.HealthStats)
+		// The mesh runs without a kernel, so sample at round boundaries:
+		// every 10 ticks gives a ~30-point continuity curve.
+		ticks := cfg.scaled(300)
+		for t := 0; t < ticks; t++ {
+			m.Tick()
+			if (t+1)%10 == 0 {
+				cfg.sampleObs()
+			}
+		}
 		return m
 	}
 	for _, aware := range []bool{false, true} {
@@ -88,6 +101,11 @@ func runChordPNS(cfg RunConfig) Result {
 			ring.AddNode(h)
 		}
 		ring.Build()
+		name := "classic"
+		if pns {
+			name = "pns"
+		}
+		cfg.observeHealth("chord-"+name, ring.HealthStats)
 		probe := src.Stream("probe")
 		var hops, lat float64
 		n := cfg.scaled(150)
@@ -96,6 +114,9 @@ func runChordPNS(cfg RunConfig) Result {
 			r := ring.Lookup(from, chord.ID(probe.Uint64()))
 			hops += float64(r.Hops)
 			lat += float64(r.Latency)
+			if (i+1)%30 == 0 {
+				cfg.sampleObs()
+			}
 		}
 		return hops / float64(n), lat / float64(n)
 	}

@@ -42,6 +42,7 @@ func runGSHLeopard(cfg RunConfig) Result {
 	for _, h := range hosts {
 		o.Join(h)
 	}
+	cfg.observeHealth("gsh", o.HealthStats)
 	// Every host publishes one item; one blockbuster item is published by
 	// every 5th host (globally popular content).
 	hot := gsh.HashKey("blockbuster")
@@ -81,6 +82,9 @@ func runGSHLeopard(cfg RunConfig) Result {
 			out.latency += st.Latency
 			if st.Level == o.Cfg.MaxLevel {
 				out.local++
+			}
+			if (i+1)%50 == 0 {
+				cfg.sampleObs() // registry-load curve for the probe plane
 			}
 		}
 		out.maxLoad, out.meanLoad = o.MaxLoad()
@@ -152,6 +156,13 @@ func runSuperPeer(cfg RunConfig) Result {
 			ov.AddNode(h, ultra[h.ID])
 		}
 		ov.JoinAll()
+		name := "random"
+		if aware {
+			name = "aware"
+		}
+		// Kernel-driven sampling catches election churn live: the probe's
+		// sim-time tick sees ultras/online_fraction move as peers cycle.
+		cfg.observeHealth("superpeer-"+name, ov.HealthStats)
 		catalog := workload.NewCatalog(cfg.scaled(60))
 		workload.PopulateZipf(catalog, hosts, 6, 1.0, src.Stream("content"))
 		ov.Catalog = catalog
@@ -239,10 +250,16 @@ func runAblPNSMetric(cfg RunConfig) Result {
 	net := topology.TransitStub(tcfg)
 	hosts := topology.PlaceHosts(net, cfg.scaled(12), false, 1, 6, src.Stream("place"))
 
-	// A converged Vivaldi system to serve as the predictive source.
+	// A converged Vivaldi system to serve as the predictive source. Run
+	// it in sampled slices so a probe records the convergence curve —
+	// the time series Dabek et al. judge coordinate systems by.
 	rtt := func(i, j int) float64 { return float64(net.RTT(hosts[i], hosts[j])) }
 	vs := coords.NewVivaldiSystem(len(hosts), coords.DefaultVivaldiConfig(), rtt, src.Stream("vivaldi"))
-	vs.Run(150)
+	cfg.observeHealth("vivaldi", vs.HealthStats)
+	for r := 0; r < 150; r += 10 {
+		vs.Run(10)
+		cfg.sampleObs()
+	}
 	vidx := map[underlay.HostID]int{}
 	for i, h := range hosts {
 		vidx[h.ID] = i
@@ -258,6 +275,7 @@ func runAblPNSMetric(cfg RunConfig) Result {
 			d.AddNode(h)
 		}
 		d.Bootstrap(4)
+		cfg.observeHealth("kademlia-"+name, d.HealthStats)
 		probe := sim.NewSource(99).Stream("probe")
 		var lat, hops float64
 		n := cfg.scaled(120)
@@ -266,6 +284,9 @@ func runAblPNSMetric(cfg RunConfig) Result {
 			r := d.Lookup(from, kademlia.NodeID(probe.Uint64()))
 			lat += float64(r.Latency)
 			hops += float64(r.Hops)
+			if (i+1)%30 == 0 {
+				cfg.sampleObs()
+			}
 		}
 		return lat / float64(n), hops / float64(n)
 	}

@@ -58,6 +58,18 @@ func runBNSSwarm(cfg RunConfig) Result {
 			}
 		}
 		s.AssignNeighbors()
+		name := "unbiased"
+		if biased {
+			name = "biased"
+		}
+		cfg.observeHealth("swarm-"+name, s.HealthStats)
+		// Per-round sampling turns completion_mean into the download-
+		// progress curve; every 5th round keeps the series compact.
+		s.OnRound = func() {
+			if s.Rounds%5 == 0 {
+				cfg.sampleObs()
+			}
+		}
 		s.Run(100000)
 		return s.Stats(), s.NeighborASMix()
 	}
@@ -108,6 +120,11 @@ func runPNSKademlia(cfg RunConfig) Result {
 			d.AddNode(h)
 		}
 		d.Bootstrap(4)
+		name := "plain"
+		if pns {
+			name = "pns"
+		}
+		cfg.observeHealth("kademlia-"+name, d.HealthStats)
 		probe := src.Stream("probe")
 		var hops, lat, msgs float64
 		// Measure only the steady-state probe phase, not bootstrap.
@@ -119,6 +136,9 @@ func runPNSKademlia(cfg RunConfig) Result {
 			hops += float64(r.Hops)
 			lat += float64(r.Latency)
 			msgs += float64(r.Msgs)
+			if (i+1)%30 == 0 {
+				cfg.sampleObs() // routing-table locality curve
+			}
 		}
 		intra := float64(d.LookupTraffic.Intra()-intraBefore) /
 			float64(d.LookupTraffic.Total()-totalBefore)
@@ -149,8 +169,12 @@ func runGeoSearch(cfg RunConfig) Result {
 	net := topology.Star(8, topology.DefaultConfig())
 	topology.PlaceHosts(net, cfg.scaled(40), false, 1, 5, src.Stream("place"))
 	tr := geotree.New(cfg.newTransportOver(net), core.GeoSelector{}, geotree.DefaultConfig())
-	for _, h := range net.Hosts() {
+	cfg.observeHealth("geotree", tr.HealthStats)
+	for i, h := range net.Hosts() {
 		tr.Insert(h)
+		if (i+1)%10 == 0 {
+			cfg.sampleObs() // zone-tree growth curve
+		}
 	}
 	from := net.Hosts()[0]
 	center := geo.Coord{Lat: from.Lat, Lon: from.Lon}

@@ -76,6 +76,10 @@ type Swarm struct {
 	PieceTraffic *metrics.TrafficMatrix
 	// Rounds counts scheduling rounds executed.
 	Rounds int
+	// OnRound, when non-nil, runs after every Run round — a pure
+	// observer hook the telemetry probe plane uses to sample per-round
+	// swarm health. It must not mutate the swarm.
+	OnRound func()
 
 	peers []*Peer
 	r     *rand.Rand
@@ -281,6 +285,9 @@ func (s *Swarm) Run(maxRounds int) int {
 			return s.Rounds
 		}
 		s.Round()
+		if s.OnRound != nil {
+			s.OnRound()
+		}
 	}
 	return s.Rounds
 }
@@ -342,4 +349,35 @@ func (s *Swarm) NeighborASMix() float64 {
 		return 0
 	}
 	return float64(intra) / float64(total)
+}
+
+// HealthStats implements the telemetry HealthReporter hook: swarm
+// progress and locality gauges sampled per round by the probe plane
+// (pure reads over the peer slice, deterministic).
+//
+//   - peers: swarm size
+//   - completion_mean: mean fraction of pieces held across peers — the
+//     download-progress curve
+//   - complete_fraction: share of peers holding every piece
+//   - rounds: upload rounds driven so far
+//   - intra_as_neighbor_fraction: locality of the tracker-assigned
+//     neighbor sets (NeighborASMix)
+func (s *Swarm) HealthStats() map[string]float64 {
+	var done, frac float64
+	for _, p := range s.peers {
+		frac += float64(s.Cfg.Pieces-p.remaining) / float64(s.Cfg.Pieces)
+		if p.remaining == 0 {
+			done++
+		}
+	}
+	out := map[string]float64{
+		"peers":                      float64(len(s.peers)),
+		"rounds":                     float64(s.Rounds),
+		"intra_as_neighbor_fraction": s.NeighborASMix(),
+	}
+	if len(s.peers) > 0 {
+		out["completion_mean"] = frac / float64(len(s.peers))
+		out["complete_fraction"] = done / float64(len(s.peers))
+	}
+	return out
 }

@@ -136,3 +136,20 @@ func (o *Overlay) Route(src, dst underlay.HostID) RouteStats {
 	}
 	return st
 }
+
+// HealthStats implements the telemetry HealthReporter hook: the state of
+// the secondary overlay (pure reads, deterministic).
+//
+//   - supernodes: elected AS landmarks
+//   - members: primary-overlay population
+//   - members_per_supernode_mean: delegation fan-in per landmark
+func (o *Overlay) HealthStats() map[string]float64 {
+	out := map[string]float64{
+		"supernodes": float64(len(o.supernodes)),
+		"members":    float64(len(o.members)),
+	}
+	if len(o.supernodes) > 0 {
+		out["members_per_supernode_mean"] = float64(len(o.members)) / float64(len(o.supernodes))
+	}
+	return out
+}

@@ -247,3 +247,42 @@ func (c *Ring) nextHop(cur *Node, key ID) *Node {
 	}
 	return nil
 }
+
+// HealthStats implements the telemetry HealthReporter hook: finger-table
+// fill and locality gauges (pure reads over the sorted node slice,
+// deterministic).
+//
+//   - nodes: ring population
+//   - finger_fill_mean: mean populated finger slots per node
+//   - finger_as_hops_mean: mean AS-path length from a node to its
+//     fingers — what proximity finger selection optimizes
+//   - finger_intra_as_fraction: share of fingers inside the owner's AS
+func (c *Ring) HealthStats() map[string]float64 {
+	var fill, hops, intra, entries float64
+	for _, n := range c.nodes {
+		for _, f := range n.fingers {
+			if f == nil {
+				continue
+			}
+			fill++
+			h := c.U.ASHops(n.Host.AS.ID, f.Host.AS.ID)
+			if h < 0 {
+				continue
+			}
+			entries++
+			hops += float64(h)
+			if h == 0 {
+				intra++
+			}
+		}
+	}
+	out := map[string]float64{"nodes": float64(len(c.nodes))}
+	if len(c.nodes) > 0 {
+		out["finger_fill_mean"] = fill / float64(len(c.nodes))
+	}
+	if entries > 0 {
+		out["finger_as_hops_mean"] = hops / entries
+		out["finger_intra_as_fraction"] = intra / entries
+	}
+	return out
+}

@@ -344,3 +344,44 @@ func (t *Tree) Geocast(from *underlay.Host, box geo.Box, payloadBytes uint64) (i
 	walk(t.root, 0)
 	return reached, st
 }
+
+// HealthStats implements the telemetry HealthReporter hook: shape gauges
+// of the zone tree (pure reads via a deterministic pre-order walk).
+//
+//   - peers: registered population
+//   - zones / leaf_zones: tree size and its frontier
+//   - max_depth: deepest split so far
+//   - members_per_leaf_mean: mean occupancy of populated leaf zones
+func (t *Tree) HealthStats() map[string]float64 {
+	var zones, leaves, populated, members float64
+	maxDepth := 0
+	var walk func(z *zone)
+	walk = func(z *zone) {
+		zones++
+		if z.depth > maxDepth {
+			maxDepth = z.depth
+		}
+		if z.children == nil {
+			leaves++
+			if len(z.members) > 0 {
+				populated++
+				members += float64(len(z.members))
+			}
+			return
+		}
+		for _, c := range z.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	out := map[string]float64{
+		"peers":      float64(t.Size()),
+		"zones":      zones,
+		"leaf_zones": leaves,
+		"max_depth":  float64(maxDepth),
+	}
+	if populated > 0 {
+		out["members_per_leaf_mean"] = members / populated
+	}
+	return out
+}

@@ -393,3 +393,60 @@ func sortedIDs(set map[underlay.HostID]bool) []underlay.HostID {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// HealthStats implements the telemetry HealthReporter hook: live gauges
+// over the two-tier topology, computed by pure reads in join order so
+// sampling never perturbs a run.
+//
+//   - ultras / leaves: current role split of the joined population
+//   - online_fraction: share of joined hosts currently up (moves under
+//     churn as ultrapeer elections re-fill the backbone)
+//   - ultra_degree_mean: mean ultrapeer fan-out
+//   - leaves_per_ultra_mean: mean leaves attached per ultrapeer
+//   - intra_as_neighbor_fraction: share of ultrapeer↔ultrapeer edges
+//     inside one AS — the locality biased selection is supposed to buy
+//   - downloads / intra_as_download_fraction: file-exchange outcomes
+func (o *Overlay) HealthStats() map[string]float64 {
+	var ultras, leaves, up, degree, attached float64
+	var edges, intraEdges float64
+	for _, id := range o.order {
+		n := o.nodes[id]
+		if n.Host.Up {
+			up++
+		}
+		if !n.Ultra {
+			leaves++
+			continue
+		}
+		ultras++
+		degree += float64(len(n.neighbors))
+		attached += float64(len(n.leaves))
+		for nb := range n.neighbors {
+			if id < nb { // count each undirected edge once
+				edges++
+				if o.U.Host(nb).AS.ID == n.Host.AS.ID {
+					intraEdges++
+				}
+			}
+		}
+	}
+	out := map[string]float64{
+		"ultras":    ultras,
+		"leaves":    leaves,
+		"downloads": float64(o.Downloads),
+	}
+	if n := ultras + leaves; n > 0 {
+		out["online_fraction"] = up / n
+	}
+	if ultras > 0 {
+		out["ultra_degree_mean"] = degree / ultras
+		out["leaves_per_ultra_mean"] = attached / ultras
+	}
+	if edges > 0 {
+		out["intra_as_neighbor_fraction"] = intraEdges / edges
+	}
+	if o.Downloads > 0 {
+		out["intra_as_download_fraction"] = float64(o.IntraASDownloads) / float64(o.Downloads)
+	}
+	return out
+}

@@ -325,3 +325,24 @@ func (o *Overlay) ResetLoad() {
 		n.load = 0
 	}
 }
+
+// HealthStats implements the telemetry HealthReporter hook: registry
+// load balance across the hierarchy (pure reads, deterministic).
+//
+//   - peers: joined population
+//   - load_max / load_mean: registry load distribution
+//   - load_hotspot_ratio: max/mean — 1.0 is perfectly balanced, large
+//     values mean a node (typically the top of the hierarchy) is a
+//     hot spot
+func (o *Overlay) HealthStats() map[string]float64 {
+	max, mean := o.MaxLoad()
+	out := map[string]float64{
+		"peers":     float64(o.Size()),
+		"load_max":  float64(max),
+		"load_mean": mean,
+	}
+	if mean > 0 {
+		out["load_hotspot_ratio"] = float64(max) / mean
+	}
+	return out
+}

@@ -244,3 +244,41 @@ func (d *DHT) Bootstrap(seeds int) {
 		d.Lookup(n.Host, n.ID)
 	}
 }
+
+// HealthStats implements the telemetry HealthReporter hook: structural
+// gauges the probe plane samples over simulated time. All values come
+// from pure reads in deterministic order (d.sorted, sorted contacts),
+// so sampling never perturbs a run.
+//
+//   - nodes: joined population
+//   - bucket_fill_mean: mean routing-table size per node
+//   - rt_as_hops_mean: mean AS-path length from a node to its
+//     routing-table entries — the locality PNS is supposed to buy
+//   - rt_intra_as_fraction: share of routing-table entries inside the
+//     owner's own AS
+func (d *DHT) HealthStats() map[string]float64 {
+	var fill, hops, intra, entries float64
+	for _, n := range d.sorted {
+		fill += float64(n.BucketFill())
+		for _, c := range n.Contacts() {
+			h := d.U.ASHops(n.host.AS.ID, d.U.Host(c.Host).AS.ID)
+			if h < 0 {
+				continue // unreachable: no defined distance
+			}
+			entries++
+			hops += float64(h)
+			if h == 0 {
+				intra++
+			}
+		}
+	}
+	out := map[string]float64{"nodes": float64(len(d.sorted))}
+	if len(d.sorted) > 0 {
+		out["bucket_fill_mean"] = fill / float64(len(d.sorted))
+	}
+	if entries > 0 {
+		out["rt_as_hops_mean"] = hops / entries
+		out["rt_intra_as_fraction"] = intra / entries
+	}
+	return out
+}

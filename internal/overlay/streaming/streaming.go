@@ -317,3 +317,28 @@ func (m *Mesh) ParentCapacityMean() float64 {
 	}
 	return sum / float64(n)
 }
+
+// HealthStats implements the telemetry HealthReporter hook: playout
+// quality gauges the probe plane samples per tick batch (pure reads over
+// the peer slice, deterministic).
+//
+//   - peers: viewer population
+//   - ticks: stream ticks driven so far
+//   - continuity / worst_continuity: mean and minimum played fraction
+//   - buffered_mean: mean chunks buffered per viewer
+func (m *Mesh) HealthStats() map[string]float64 {
+	out := map[string]float64{
+		"peers":            float64(len(m.peers)),
+		"ticks":            float64(m.tick),
+		"continuity":       m.Continuity(),
+		"worst_continuity": m.WorstContinuity(),
+	}
+	if len(m.peers) > 0 {
+		var buffered float64
+		for _, p := range m.peers {
+			buffered += float64(len(p.have))
+		}
+		out["buffered_mean"] = buffered / float64(len(m.peers))
+	}
+	return out
+}

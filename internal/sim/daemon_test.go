@@ -1,0 +1,116 @@
+package sim
+
+import "testing"
+
+// Daemon events (AtDaemon/EveryDaemon) back the telemetry probe's
+// recurring sampling tick. The contract under test: they fire in time
+// order like any other event, but never keep an unbounded run alive —
+// Drain over a kernel with a periodic daemon still terminates, at the
+// same simulated time it would have without one.
+
+func TestDrainNotKeptAliveByDaemons(t *testing.T) {
+	k := NewKernel()
+	var ticks int
+	k.EveryDaemon(10, func() { ticks++ })
+	var fired []Time
+	k.At(5, func() { fired = append(fired, k.Now()) })
+	k.At(25, func() { fired = append(fired, k.Now()) })
+
+	end := k.Drain()
+	if end != 25 {
+		t.Fatalf("Drain ended at %v, want 25 (the last real event)", end)
+	}
+	if ticks != 2 {
+		t.Fatalf("daemon ticked %d times, want 2 (at 10 and 20)", ticks)
+	}
+	if k.Pending() == 0 {
+		t.Fatal("the recurring daemon should stay queued after Drain")
+	}
+	if len(fired) != 2 {
+		t.Fatalf("real events fired %d times, want 2", len(fired))
+	}
+}
+
+func TestDrainTimeUnchangedByDaemon(t *testing.T) {
+	run := func(withDaemon bool) Time {
+		k := NewKernel()
+		if withDaemon {
+			k.EveryDaemon(7, func() {})
+		}
+		for _, at := range []Time{3, 18, 42} {
+			k.At(at, func() {})
+		}
+		return k.Drain()
+	}
+	bare, probed := run(false), run(true)
+	if bare != probed {
+		t.Fatalf("daemon changed Drain's end time: %v vs %v", bare, probed)
+	}
+}
+
+func TestDaemonsFireThroughBoundedRun(t *testing.T) {
+	k := NewKernel()
+	var ticks int
+	k.EveryDaemon(10, func() { ticks++ })
+	if end := k.Run(100); end != 100 {
+		t.Fatalf("Run(100) ended at %v", end)
+	}
+	if ticks != 10 {
+		t.Fatalf("daemon ticked %d times in a 100ms horizon, want 10", ticks)
+	}
+}
+
+func TestDaemonOrderedAmongRealEvents(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.At(10, func() { order = append(order, "real@10") })
+	k.AtDaemon(10, func() { order = append(order, "daemon@10") })
+	k.At(20, func() { order = append(order, "real@20") })
+	k.AtDaemon(15, func() { order = append(order, "daemon@15") })
+	k.Drain()
+	want := []string{"real@10", "daemon@10", "daemon@15", "real@20"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDaemonCancel(t *testing.T) {
+	k := NewKernel()
+	var ticks int
+	cancel := k.EveryDaemon(10, func() { ticks++ })
+	k.At(35, func() {})
+	k.Run(22) // ticks at 10 and 20
+	cancel()
+	k.Drain()
+	if ticks != 2 {
+		t.Fatalf("cancelled daemon ticked %d times, want 2", ticks)
+	}
+
+	// Timer.Cancel on a pending daemon keeps the bookkeeping consistent:
+	// a later Drain with a real event must still terminate promptly.
+	tm := k.AtDaemon(1000, func() { t.Fatal("cancelled daemon fired") })
+	if !tm.Cancel() {
+		t.Fatal("Cancel reported the daemon already fired")
+	}
+	if k.daemons != 0 {
+		t.Fatalf("daemons counter = %d after cancel, want 0", k.daemons)
+	}
+	k.At(40, func() {})
+	if end := k.Drain(); end != 40 {
+		t.Fatalf("Drain after daemon cancel ended at %v, want 40", end)
+	}
+}
+
+func TestEveryDaemonRejectsNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EveryDaemon(0, ...) did not panic")
+		}
+	}()
+	NewKernel().EveryDaemon(0, func() {})
+}

@@ -40,6 +40,11 @@ type event struct {
 	seq uint64 // tie-break so equal-time events fire in schedule order
 	fn  func()
 	idx int
+	// daemon marks housekeeping events (telemetry probe ticks) that must
+	// not keep an unbounded Run alive on their own: when only daemon
+	// events remain and the horizon is Forever, Run returns instead of
+	// ticking forever. See Kernel.AtDaemon.
+	daemon bool
 }
 
 type eventHeap []*event
@@ -82,6 +87,9 @@ type Kernel struct {
 	// maxQueue tracks the high-water mark of the pending-event queue, a
 	// cheap load statistic telemetry exports per run.
 	maxQueue int
+	// daemons counts pending daemon events, so Run can tell when the
+	// queue holds nothing but housekeeping.
+	daemons int
 	// MaxEvents, when non-zero, aborts Run after that many events as a
 	// runaway-simulation backstop.
 	MaxEvents uint64
@@ -135,6 +143,9 @@ func (t Timer) Cancel() bool {
 		return false
 	}
 	heap.Remove(&t.k.queue, t.e.idx)
+	if t.e.daemon {
+		t.k.daemons--
+	}
 	return true
 }
 
@@ -148,15 +159,33 @@ func (k *Kernel) Schedule(delay Duration, fn func()) Timer {
 
 // At runs fn at absolute time t. Times in the past fire "now".
 func (k *Kernel) At(t Time, fn func()) Timer {
+	return k.at(t, fn, false)
+}
+
+// AtDaemon schedules fn at absolute time t as a daemon event: it fires in
+// time order like any other event, but pending daemons alone do not keep
+// Run(Forever) alive — when only daemons remain in an unbounded run, the
+// kernel stops as if the queue were empty. Within a bounded Run(until),
+// daemons due before the horizon still fire, so periodic samplers see the
+// whole window. Daemon callbacks must be pure observers: scheduling
+// non-daemon work from one would change what "drained" means.
+func (k *Kernel) AtDaemon(t Time, fn func()) Timer {
+	return k.at(t, fn, true)
+}
+
+func (k *Kernel) at(t Time, fn func(), daemon bool) Timer {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
 	if t < k.now {
 		t = k.now
 	}
-	e := &event{at: t, seq: k.seq, fn: fn}
+	e := &event{at: t, seq: k.seq, fn: fn, daemon: daemon}
 	k.seq++
 	heap.Push(&k.queue, e)
+	if daemon {
+		k.daemons++
+	}
 	if len(k.queue) > k.maxQueue {
 		k.maxQueue = len(k.queue)
 	}
@@ -184,21 +213,55 @@ func (k *Kernel) Every(period Duration, fn func()) (cancel func()) {
 	return func() { stopped = true }
 }
 
+// EveryDaemon is Every with daemon scheduling (see AtDaemon): fn fires at
+// now+period and every period thereafter, but the recurring tick never
+// keeps an unbounded Run alive by itself. This is how the telemetry probe
+// samples a kernel at a fixed sim-time interval without turning Drain
+// into an infinite loop.
+func (k *Kernel) EveryDaemon(period Duration, fn func()) (cancel func()) {
+	if period <= 0 {
+		panic("sim: non-positive period")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			k.AtDaemon(k.now+period, tick)
+		}
+	}
+	k.AtDaemon(k.now+period, tick)
+	return func() { stopped = true }
+}
+
 // Stop makes Run return after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Run executes events in time order until the queue empties, Stop is
-// called, simulated time would exceed until, or MaxEvents is hit.
+// Run executes events in time order until the queue empties (or holds
+// only daemon events in an unbounded run, see AtDaemon), Stop is called,
+// simulated time would exceed until, or MaxEvents is hit.
 // It returns the simulated time at which the run ended.
 func (k *Kernel) Run(until Time) Time {
 	k.stopped = false
 	for len(k.queue) > 0 && !k.stopped {
+		if k.daemons == len(k.queue) && until >= Forever {
+			// Only housekeeping left and no horizon to fill: stop here,
+			// leaving the daemons queued, exactly as if the queue were
+			// empty. Time stays at the last real event.
+			break
+		}
 		next := k.queue[0]
 		if next.at > until {
 			k.now = until
 			return k.now
 		}
 		heap.Pop(&k.queue)
+		if next.daemon {
+			k.daemons--
+		}
 		k.now = next.at
 		k.processed++
 		next.fn()
@@ -214,5 +277,6 @@ func (k *Kernel) Run(until Time) Time {
 	return k.now
 }
 
-// Drain runs until the queue is empty with no time horizon.
+// Drain runs until the queue is empty (daemon events excepted, see
+// AtDaemon) with no time horizon.
 func (k *Kernel) Drain() Time { return k.Run(Forever) }

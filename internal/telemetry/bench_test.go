@@ -82,3 +82,29 @@ func BenchmarkRecorderRecord(b *testing.B) {
 		rec.Record(e)
 	}
 }
+
+// BenchmarkProbeSample measures one probe tick — a full metrics snapshot
+// plus health-source reads — over a realistically loaded recorder. This
+// is the probe plane's entire runtime cost: the Send/Deliver hot paths
+// are untouched (the probe adds no per-message work, compare the
+// Detached/Recorded pairs above), so total overhead is ticks × this.
+func BenchmarkProbeSample(b *testing.B) {
+	net, hosts := testNet(1)
+	k := sim.NewKernel()
+	tr := transport.New(net, k)
+	tr.MatrixFor("bench")
+	p := NewProbe(nil, ProbeConfig{Interval: 10, Retention: 256})
+	p.ObserveTransport(tr)
+	p.ObserveKernel(k)
+	p.ObserveHealth("overlay", func() map[string]float64 {
+		return map[string]float64{"a": 1, "b": 2, "c": 3}
+	})
+	for i := 0; i < 1000; i++ {
+		tr.Send(hosts[i%len(hosts)], hosts[(i+1)%len(hosts)], 64, "bench")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Sample()
+	}
+}

@@ -45,6 +45,7 @@ type Recorder struct {
 
 	recorded    uint64
 	overwritten uint64
+	samples     uint64
 
 	sink    *RunWriter
 	sinkErr error
@@ -180,6 +181,26 @@ func (r *Recorder) drainLocked() {
 		}
 	}
 	r.start, r.n = 0, 0
+}
+
+// recordSample streams one probe sample into the run file, preserving
+// record order: buffered events drain to the sink first, so a sample
+// always sits after every event it could have observed. Sink-less
+// recorders just count it for the summary. Called by Probe.Sample.
+func (r *Recorder) recordSample(s Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.samples++
+	if r.sink == nil {
+		return
+	}
+	r.drainLocked()
+	if err := r.sink.WriteSample(s); err != nil && r.sinkErr == nil {
+		r.sinkErr = err
+	}
 }
 
 // Events returns the currently buffered events, oldest first. With a
@@ -377,6 +398,7 @@ func (r *Recorder) Close() error {
 		FinishedAt:  finished,
 		Events:      r.recorded,
 		Overwritten: r.overwritten,
+		Samples:     r.samples,
 	}
 	r.closed = true
 	r.mu.Unlock()

@@ -14,23 +14,32 @@ import (
 //
 //	{"t":"manifest","manifest":{…}}   exactly once, first line
 //	{"t":"event","event":{…}}         zero or more, in record order
+//	{"t":"sample","sample":{…}}       zero or more, probe ticks in order
 //	{"t":"summary","summary":{…}}     exactly once, last line
 //
 // The format is append-only and stream-writable (the Recorder drains its
 // ring here), deterministic (no wall-clock state), and self-describing
-// (readers skip record types they don't know).
+// (readers skip record types they don't know). Sample records interleave
+// with events in capture order: the Recorder drains buffered events
+// before writing each sample, so a sample sits after every event it
+// could have observed.
 type lineRecord struct {
 	T        string    `json:"t"`
 	Manifest *Manifest `json:"manifest,omitempty"`
 	Event    *Event    `json:"event,omitempty"`
+	Sample   *Sample   `json:"sample,omitempty"`
 	Summary  *Summary  `json:"summary,omitempty"`
 }
 
 // RunWriter streams a run file. Methods are not concurrency-safe; the
-// Recorder serializes access through its own lock.
+// Recorder serializes access through its own lock. The first write error
+// sticks: later writes become no-ops returning it, so a full disk midway
+// through a million-event run fails fast instead of grinding through the
+// rest, and Recorder.Close surfaces the original cause.
 type RunWriter struct {
 	bw  *bufio.Writer
 	enc *json.Encoder
+	err error
 }
 
 // NewRunWriter returns a writer streaming to w.
@@ -39,29 +48,60 @@ func NewRunWriter(w io.Writer) *RunWriter {
 	return &RunWriter{bw: bw, enc: json.NewEncoder(bw)}
 }
 
+func (w *RunWriter) encode(rec lineRecord) error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.enc.Encode(rec); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
 // WriteManifest writes the opening manifest record.
 func (w *RunWriter) WriteManifest(m Manifest) error {
-	return w.enc.Encode(lineRecord{T: "manifest", Manifest: &m})
+	return w.encode(lineRecord{T: "manifest", Manifest: &m})
 }
 
 // WriteEvent writes one event record.
 func (w *RunWriter) WriteEvent(e Event) error {
-	return w.enc.Encode(lineRecord{T: "event", Event: &e})
+	return w.encode(lineRecord{T: "event", Event: &e})
+}
+
+// WriteSample writes one probe sample record.
+func (w *RunWriter) WriteSample(s Sample) error {
+	return w.encode(lineRecord{T: "sample", Sample: &s})
 }
 
 // WriteSummary writes the closing summary record.
 func (w *RunWriter) WriteSummary(s Summary) error {
-	return w.enc.Encode(lineRecord{T: "summary", Summary: &s})
+	return w.encode(lineRecord{T: "summary", Summary: &s})
 }
 
-// Flush flushes buffered output to the underlying writer.
-func (w *RunWriter) Flush() error { return w.bw.Flush() }
+// Flush flushes buffered output to the underlying writer. Note that
+// bufio defers underlying write errors until the buffer spills, so an
+// error here may be the first sign the sink is broken.
+func (w *RunWriter) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Err returns the sticky first write error, if any.
+func (w *RunWriter) Err() error { return w.err }
 
 // Run is a fully parsed run file.
 type Run struct {
 	Manifest Manifest
 	Events   []Event
-	Summary  Summary
+	// Samples holds the probe ticks in capture order (empty unless a
+	// Probe was attached to the recording).
+	Samples []Sample
+	Summary Summary
 	// HasSummary reports whether a summary record was present (a run cut
 	// short before Recorder.Close leaves none).
 	HasSummary bool
@@ -94,6 +134,10 @@ func ReadRun(r io.Reader) (*Run, error) {
 		case "event":
 			if rec.Event != nil {
 				run.Events = append(run.Events, *rec.Event)
+			}
+		case "sample":
+			if rec.Sample != nil {
+				run.Samples = append(run.Samples, *rec.Sample)
 			}
 		case "summary":
 			if rec.Summary != nil {
@@ -134,17 +178,28 @@ type Delta struct {
 	A float64 `json:"a"`
 	B float64 `json:"b"`
 	// Rel is |A-B| / max(|A|,|B|), the relative delta compared against
-	// the threshold.
+	// the threshold — except when either side is exactly 0, where it is
+	// the absolute delta |A-B| (see relDelta): a zero baseline has no
+	// scale, and reporting any epsilon as 100% drift buries real
+	// regressions in noise.
 	Rel float64 `json:"rel"`
 	// MissingIn is "a" or "b" when the metric exists in only one run.
 	MissingIn string `json:"missing_in,omitempty"`
 }
 
 func relDelta(a, b float64) float64 {
-	if a == b {
-		return 0
+	if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
+		return 0 // 0→0 (or NaN→NaN) is no drift, not 0/0
 	}
-	// a != b implies max(|a|,|b|) > 0.
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return 1 // number on one side, NaN on the other: fully drifted
+	}
+	if a == 0 || b == 0 {
+		// Zero baseline (or comparison): there is no scale to divide
+		// by, so report the absolute change. 0→0.01 is drift 0.01, not
+		// an automatic 100%.
+		return math.Abs(a - b)
+	}
 	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
 }
 

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Server exposes live observability endpoints for a running simulation:
+// Prometheus metrics text at /metrics and the net/http/pprof suite under
+// /debug/pprof/. It exists for multi-minute sweeps and long underlaysim
+// runs, where "how far along is it and where is the CPU going" should
+// not require waiting for the closing summary.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	err chan error
+}
+
+// Serve starts an HTTP server on addr (e.g. "127.0.0.1:0" for an
+// ephemeral port). Every /metrics request renders src() with
+// MetricsSnapshot.PrometheusText; pass a Probe's LatestSnapshot for a
+// race-free live view (the sampler refreshes it each tick, so it is at
+// most one probe interval stale). A nil src serves an empty snapshot —
+// pprof-only mode. The server runs on its own goroutine; Close shuts it
+// down.
+func Serve(addr string, src func() MetricsSnapshot) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		snap := newMetricsSnapshot()
+		if src != nil {
+			snap = src()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, snap.PrometheusText())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, err: make(chan error, 1)}
+	go func() { s.err <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the listener's resolved address ("127.0.0.1:43125").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down and releases the port.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.err // wait for the serve goroutine to exit
+	return err
+}

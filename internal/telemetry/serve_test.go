@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"unap2p/internal/sim"
+	"unap2p/internal/transport"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	net, hosts := testNet(1)
+	k := sim.NewKernel()
+	tr := transport.New(net, k)
+	p := NewProbe(nil, ProbeConfig{Interval: 10})
+	p.ObserveTransport(tr)
+	p.ObserveKernel(k)
+
+	srv, err := Serve("127.0.0.1:0", p.LatestSnapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Before the first tick the endpoint answers with an empty snapshot.
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d before first sample", code)
+	}
+
+	k.At(5, func() { tr.Send(hosts[0], hosts[1], 100, "ping") })
+	k.At(15, func() {})
+	k.Drain() // probe ticks at 10: snapshot now caches the ping
+
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "unap2p_") {
+		t.Fatalf("/metrics has no unap2p_ series:\n%s", body)
+	}
+	if !strings.Contains(body, "ping") {
+		t.Fatalf("/metrics does not include the observed ping counter:\n%s", body)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d body %.60q", code, body)
+	}
+}
+
+func TestServeNilSource(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, _ := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d with nil source", code)
+	}
+}

@@ -120,6 +120,9 @@ type Summary struct {
 	// ring overflow (always 0 when a sink is attached).
 	Events      uint64 `json:"events"`
 	Overwritten uint64 `json:"overwritten,omitempty"`
+	// Samples counts probe ticks recorded (0 when no Probe was
+	// attached, and then omitted so probe-less run files are unchanged).
+	Samples uint64 `json:"samples,omitempty"`
 	// Metrics is the end-of-run snapshot of everything observed.
 	Metrics MetricsSnapshot `json:"metrics"`
 }
