@@ -4,15 +4,15 @@ GO ?= go
 # for publication-quality numbers.
 BENCHTIME ?= 100ms
 
-.PHONY: ci vet build test race bench bench-json cover series-demo
+.PHONY: ci vet build test race bench bench-json cover series-demo chaos fuzz-smoke
 
 # ci is the full verification gate: static analysis, a clean build of
-# every package, the test suite under the race detector, and an
-# end-to-end smoke of the probe plane (record → sample → series).
-# Benchmarks and the coverage summary run afterwards as non-fatal
-# reporting steps (a perf regression or coverage dip is visible but
-# does not gate).
-ci: vet build race series-demo
+# every package, the test suite under the race detector, the chaos
+# suite, a fuzz smoke of the schedule parser, and an end-to-end smoke
+# of the probe plane (record → sample → series). Benchmarks and the
+# coverage summary run afterwards as non-fatal reporting steps (a perf
+# regression or coverage dip is visible but does not gate).
+ci: vet build race chaos fuzz-smoke series-demo
 	-$(MAKE) bench
 	-$(MAKE) cover
 
@@ -46,6 +46,20 @@ bench-json:
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
+
+# chaos runs the self-healing suite: every overlay under the standard
+# seeded fault campaign (loss burst + crash wave) with a live failure
+# detector, three pinned seeds each run twice, asserting invariants and
+# byte-identical run files — race-enabled, since detector, injector,
+# and overlay repair all share the kernel.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v ./internal/integration/
+
+# fuzz-smoke gives the chaos schedule parser a short fuzzing budget —
+# enough to catch parser/round-trip regressions in CI without the open
+# -ended runtime of a real fuzzing campaign.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseSchedule -fuzztime=10s ./internal/chaos/
 
 # series-demo exercises the whole probe pipeline end to end: record a
 # Gnutella experiment with a 50 ms sim-time probe, then render its

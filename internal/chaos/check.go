@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"unap2p/internal/underlay"
+)
+
+// Subject is what the checker needs from an overlay: the reference
+// sweep and the eviction ledger every heal.go exports.
+type Subject interface {
+	// Refs returns every peer the overlay still references (routing
+	// tables, neighbor sets, supervisor slots...), deduped and sorted.
+	Refs() []underlay.HostID
+	// Evicted returns the peers the resilience layer evicted, sorted.
+	Evicted() []underlay.HostID
+}
+
+// Violation is one broken invariant.
+type Violation struct {
+	// Invariant names the rule ("dead-refs", "size-bound",
+	// "success-floor", "reconverge").
+	Invariant string
+	// Detail says what was observed.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Report accumulates invariant checks for one overlay under one
+// campaign.
+type Report struct {
+	// Name labels the overlay/scenario in failures.
+	Name       string
+	Violations []Violation
+}
+
+// Check runs the universal invariant — no routing to evicted peers —
+// and returns a report the caller extends with overlay-specific
+// bounds.
+func Check(name string, s Subject) *Report {
+	r := &Report{Name: name}
+	r.NoDeadRefs(s)
+	return r
+}
+
+// Add records a violation.
+func (r *Report) Add(invariant, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{
+		Invariant: invariant,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Ok reports a clean run.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// Err returns nil on a clean run, or one error describing every
+// violation.
+func (r *Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	lines := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		lines[i] = v.String()
+	}
+	return fmt.Errorf("chaos: %s: %d invariant violations:\n  %s",
+		r.Name, len(r.Violations), strings.Join(lines, "\n  "))
+}
+
+// NoDeadRefs asserts the overlay references no evicted peer — evicted
+// state must never be routed to again.
+func (r *Report) NoDeadRefs(s Subject) {
+	evicted := make(map[underlay.HostID]bool)
+	for _, id := range s.Evicted() {
+		evicted[id] = true
+	}
+	for _, id := range s.Refs() {
+		if evicted[id] {
+			r.Add("dead-refs", "overlay still references evicted peer %d", id)
+		}
+	}
+}
+
+// SizeBounds asserts every per-peer set size sits in [min, max] —
+// bucket occupancy, neighbor sets, parent counts.
+func (r *Report) SizeBounds(what string, sizes []int, min, max int) {
+	for i, n := range sizes {
+		if n < min || n > max {
+			r.Add("size-bound", "%s[%d] = %d outside [%d, %d]", what, i, n, min, max)
+		}
+	}
+}
+
+// SuccessFloor asserts ok/total ≥ floor — the post-fault lookup
+// success requirement.
+func (r *Report) SuccessFloor(what string, ok, total int, floor float64) {
+	if total <= 0 {
+		r.Add("success-floor", "%s: no attempts recorded", what)
+		return
+	}
+	rate := float64(ok) / float64(total)
+	if rate < floor {
+		r.Add("success-floor", "%s: %d/%d = %.3f below floor %.3f",
+			what, ok, total, rate, floor)
+	}
+}
+
+// Reconverged asserts a post-recovery metric climbed back to within
+// tolerance of its pre-fault value — eventual re-convergence.
+func (r *Report) Reconverged(what string, before, after, tolerance float64) {
+	if after < before-tolerance {
+		r.Add("reconverge", "%s: recovered to %.3f, pre-fault %.3f (tolerance %.3f)",
+			what, after, before, tolerance)
+	}
+}

@@ -1,0 +1,37 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSchedule drives the schedule parser with arbitrary input:
+// malformed or extreme schedules must return errors, never panic, and
+// anything accepted must survive a Format/Parse round trip unchanged —
+// the property the chaos suite's pinned campaign files rely on.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("partition 1000 2500 as=3,5\nloss 500 900 rate=0.35 as=4\ncrash 1500 n=3 revive=3000\n")
+	f.Add("# comment only\n\n")
+	f.Add("crash 0 n=1")
+	f.Add("loss 0 1e300 rate=1")
+	f.Add("partition 1 2 as=0,0,0,4294967295")
+	f.Add("crash 5 n=2147483647 revive=5")
+	f.Add("loss -1 2 rate=0.5")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse(text)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a schedule Validate rejects: %v", verr)
+		}
+		out := Format(s)
+		s2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Format produced unparsable %q: %v", out, err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed schedule:\n%#v\n%#v", s, s2)
+		}
+	})
+}

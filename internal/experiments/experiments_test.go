@@ -627,3 +627,22 @@ func TestBrocadeShape(t *testing.T) {
 		t.Fatal("landmark messages should drop")
 	}
 }
+
+func TestResilienceShape(t *testing.T) {
+	r := mustRun(t, "exp-resilience", testCfg())
+	if len(r.Rows) != 3 {
+		t.Fatalf("want 3 crash victims, got %d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		crashed, suspected, evicted := cell(t, row[1]), cell(t, row[2]), cell(t, row[3])
+		// The loss burst can raise a (recanted) suspicion before the
+		// wave, so only the eviction must follow the crash.
+		if suspected <= 0 || evicted <= crashed || evicted <= suspected {
+			t.Fatalf("%s: timeline out of order: %v", row[0], row)
+		}
+		// Detection must beat the post-fault window by a wide margin.
+		if detect := cell(t, row[4]); detect <= 0 || detect > 5000 {
+			t.Fatalf("%s: detect latency %v ms outside (0, 5000]", row[0], detect)
+		}
+	}
+}

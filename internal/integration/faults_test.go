@@ -62,7 +62,7 @@ func TestGnutellaUnderLoss(t *testing.T) {
 func TestKademliaUnderLoss(t *testing.T) {
 	net, hosts, src := buildWorld(4, 8)
 	tr := lossy(net, nil, src)
-	tr.Retries = 2
+	tr.Retry = transport.RetryPolicy{Budget: 2}
 	d := kademlia.New(tr, nil, kademlia.DefaultConfig(), src.Stream("dht"))
 	for _, h := range hosts {
 		d.AddNode(h)
@@ -79,7 +79,7 @@ func TestKademliaUnderLoss(t *testing.T) {
 		// Bounded recovery: with α=3, K=8 and ≤2 retries per RPC the
 		// message count cannot explode past a small multiple of the
 		// loss-free worst case.
-		if res.Msgs > 6*(res.Hops+1)*d.Cfg.Alpha*(tr.Retries+1) {
+		if res.Msgs > 6*(res.Hops+1)*d.Cfg.Alpha*(tr.Retry.Budget+1) {
 			t.Fatalf("unbounded retry traffic: %d msgs in %d hops", res.Msgs, res.Hops)
 		}
 	}

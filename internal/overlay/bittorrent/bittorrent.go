@@ -84,6 +84,9 @@ type Swarm struct {
 	peers []*Peer
 	r     *rand.Rand
 	sel   core.Selector
+	// suspected and evicted track failure-detector verdicts (see
+	// heal.go); nil until the resilience layer delivers one.
+	suspected, evicted map[underlay.HostID]bool
 }
 
 // NewSwarm creates an empty swarm sending through tr. A non-nil selector

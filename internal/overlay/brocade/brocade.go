@@ -31,6 +31,14 @@ type Overlay struct {
 	// supernodes maps AS id → elected supernode host.
 	supernodes map[int]underlay.HostID
 	members    map[underlay.HostID]bool
+	// groups keeps the per-AS member lists (id-sorted) so heal.go can
+	// re-elect a supernode when one is evicted; sel is the election
+	// policy Build ran with.
+	groups map[int][]*underlay.Host
+	sel    core.Selector
+	// suspected and evicted track failure-detector verdicts (see
+	// heal.go); nil until the resilience layer delivers one.
+	suspected, evicted map[underlay.HostID]bool
 }
 
 // Build elects one supernode per AS that has members via the selector's
@@ -50,6 +58,7 @@ func Build(tr transport.Messenger, sel core.Selector, members []*underlay.Host) 
 		Msgs:       tr.Counters(),
 		supernodes: make(map[int]underlay.HostID),
 		members:    make(map[underlay.HostID]bool),
+		sel:        sel,
 	}
 	sorted := append([]*underlay.Host(nil), members...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
@@ -72,6 +81,7 @@ func Build(tr transport.Messenger, sel core.Selector, members []*underlay.Host) 
 		}
 		o.supernodes[asID] = super.ID
 	}
+	o.groups = groups
 	return o
 }
 
@@ -129,8 +139,16 @@ func (o *Overlay) Route(src, dst underlay.HostID) RouteStats {
 		leg(from, to)
 		return st
 	}
-	sn1 := o.U.Host(o.supernodes[from.AS.ID])
-	sn2 := o.U.Host(o.supernodes[to.AS.ID])
+	// An AS whose supernode was evicted and could not be replaced (no
+	// live members left) degrades to a direct wide-area leg.
+	sn1ID, ok1 := o.supernodes[from.AS.ID]
+	sn2ID, ok2 := o.supernodes[to.AS.ID]
+	if !ok1 || !ok2 {
+		leg(from, to)
+		return st
+	}
+	sn1 := o.U.Host(sn1ID)
+	sn2 := o.U.Host(sn2ID)
 	if leg(from, sn1) && leg(sn1, sn2) {
 		leg(sn2, to)
 	}

@@ -63,6 +63,9 @@ type Ring struct {
 	nodes []*Node // sorted by ID
 	r     *rand.Rand
 	sel   core.Selector
+	// suspected and evicted track failure-detector verdicts (see
+	// heal.go); nil until the resilience layer delivers one.
+	suspected, evicted map[underlay.HostID]bool
 }
 
 // New creates an empty ring sending through tr. A non-nil selector turns

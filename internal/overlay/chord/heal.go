@@ -1,0 +1,114 @@
+package chord
+
+import (
+	"sort"
+
+	"unap2p/internal/resilience"
+	"unap2p/internal/underlay"
+)
+
+// This file implements the resilience.Healer Suspect/Evict/Replace
+// contract for Chord: eviction removes the dead node from the ring,
+// rebuilds every successor list over the survivors (the repair Chord's
+// stabilize protocol performs incrementally), and re-fills exactly the
+// finger slots that pointed at the dead node — proximity-selected when
+// the ring runs PNS, so repairs stay underlay-aware.
+
+var _ resilience.Healer = (*Ring)(nil)
+
+// Suspect records an advisory verdict; ring state is untouched until
+// eviction because suspicion can be recanted.
+func (c *Ring) Suspect(id underlay.HostID) {
+	if c.suspected == nil {
+		c.suspected = make(map[underlay.HostID]bool)
+	}
+	c.suspected[id] = true
+}
+
+// Evict removes the dead node and repairs successors and fingers.
+// Idempotent.
+func (c *Ring) Evict(id underlay.HostID) {
+	if c.evicted[id] {
+		return
+	}
+	if c.evicted == nil {
+		c.evicted = make(map[underlay.HostID]bool)
+	}
+	c.evicted[id] = true
+	delete(c.suspected, id)
+	idx := -1
+	var dead *Node
+	for i, n := range c.nodes {
+		if n.Host.ID == id {
+			idx, dead = i, n
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	c.nodes = append(c.nodes[:idx], c.nodes[idx+1:]...)
+	n := len(c.nodes)
+	if n == 0 {
+		return
+	}
+	for i, node := range c.nodes {
+		// Successor-list repair: the lists are positional, so rebuild
+		// them over the surviving ring.
+		node.successors = node.successors[:0]
+		for s := 1; s <= c.Cfg.SuccessorList && s < n; s++ {
+			node.successors = append(node.successors, c.nodes[(i+s)%n])
+		}
+		// Finger repair: only slots that referenced the dead node are
+		// recomputed; every other finger keeps its (possibly
+		// proximity-picked) entry.
+		for fi := 0; fi < 64; fi++ {
+			if node.fingers[fi] != dead {
+				continue
+			}
+			start := node.ID + (ID(1) << uint(fi))
+			if c.sel != nil {
+				node.fingers[fi] = c.closestInInterval(node, start, ID(1)<<uint(fi))
+			} else {
+				f := c.successorOf(start)
+				if f == node {
+					f = nil
+				}
+				node.fingers[fi] = f
+			}
+		}
+	}
+}
+
+// Evicted returns the nodes evicted so far, sorted by host id.
+func (c *Ring) Evicted() []underlay.HostID {
+	out := make([]underlay.HostID, 0, len(c.evicted))
+	for id := range c.evicted {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Refs returns every peer referenced by a successor list or finger
+// table (deduped, sorted) — the reference set chaos invariants sweep
+// for dead peers.
+func (c *Ring) Refs() []underlay.HostID {
+	set := make(map[underlay.HostID]bool)
+	for _, n := range c.nodes {
+		for _, s := range n.successors {
+			set[s.Host.ID] = true
+		}
+		for _, f := range n.fingers {
+			if f != nil {
+				set[f.Host.ID] = true
+			}
+		}
+	}
+	out := make([]underlay.HostID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -56,6 +56,9 @@ type Tree struct {
 	root  *zone
 	where map[underlay.HostID]*zone
 	sel   core.Selector
+	// suspected and evicted track failure-detector verdicts (see
+	// heal.go); nil until the resilience layer delivers one.
+	suspected, evicted map[underlay.HostID]bool
 }
 
 // New creates a tree covering the whole globe, sending through tr. The

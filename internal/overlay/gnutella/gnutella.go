@@ -145,6 +145,9 @@ type Overlay struct {
 	r           *rand.Rand
 	guid        uint64
 	pendingHits map[uint64]*SearchResult
+	// suspected and evicted track failure-detector verdicts (see
+	// heal.go); nil until the resilience layer delivers one.
+	suspected, evicted map[underlay.HostID]bool
 }
 
 // New creates an empty overlay sending through tr (which must carry a

@@ -99,6 +99,9 @@ type Overlay struct {
 	// deterministic rendezvous.
 	members []map[ZoneCode][]underlay.HostID
 	sel     core.Selector
+	// suspected and evicted track failure-detector verdicts (see
+	// heal.go); nil until the resilience layer delivers one.
+	suspected, evicted map[underlay.HostID]bool
 }
 
 // New creates an empty overlay sending through tr. The selector's

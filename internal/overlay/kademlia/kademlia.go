@@ -66,9 +66,14 @@ type Node struct {
 	Contact
 	host    *underlay.Host
 	buckets [][]Contact // index by bucketIndex
-	store   map[Key][]byte
-	cfg     Config
-	dht     *DHT
+	// spares is the per-bucket replacement cache: contacts that lost the
+	// insertion contest wait here (newest last) and are promoted when an
+	// eviction frees a slot. Nil until the first stash, so tables built
+	// before any bucket overflows carry no extra state.
+	spares [][]Contact
+	store  map[Key][]byte
+	cfg    Config
+	dht    *DHT
 }
 
 // DHT is a Kademlia instance bound to an underlay via a transport.
@@ -90,6 +95,9 @@ type DHT struct {
 	sorted []*Node // by NodeID, for deterministic iteration
 	r      *rand.Rand
 	sel    core.Selector
+	// suspected and evicted track failure-detector verdicts (see
+	// heal.go); nil until the resilience layer delivers one.
+	suspected, evicted map[underlay.HostID]bool
 }
 
 // New creates an empty DHT sending through tr. A non-nil selector turns
@@ -171,9 +179,14 @@ func (n *Node) observe(c Contact) {
 		return
 	}
 	if n.dht.sel == nil {
-		return // classic Kademlia: bucket full, drop newcomer
+		// Classic Kademlia drops the newcomer; we park it in the
+		// replacement cache instead (a passive stash — routing behaviour
+		// is unchanged until an eviction promotes it).
+		n.stash(idx, c)
+		return
 	}
-	// PNS: keep the K proximity-closest contacts for this bucket.
+	// PNS: keep the K proximity-closest contacts for this bucket; the
+	// loser of the contest goes to the replacement cache.
 	prox := n.dht.proximity
 	worst, worstLat := -1, -1.0
 	for i, have := range b {
@@ -184,8 +197,11 @@ func (n *Node) observe(c Contact) {
 	}
 	newLat := prox(n.host, n.dht.U.Host(c.Host))
 	if worst >= 0 && newLat < worstLat {
+		n.stash(idx, n.buckets[idx][worst])
 		n.buckets[idx][worst] = c
+		return
 	}
+	n.stash(idx, c)
 }
 
 // closest returns up to k contacts from n's table nearest to target,

@@ -83,6 +83,9 @@ type Mesh struct {
 	tick   int
 	r      *rand.Rand
 	sel    core.Selector
+	// suspected and evicted track failure-detector verdicts (see
+	// heal.go); nil until the resilience layer delivers one.
+	suspected, evicted map[underlay.HostID]bool
 }
 
 // NewMesh creates a session rooted at the source host, sending through

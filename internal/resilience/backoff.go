@@ -1,0 +1,103 @@
+// Package resilience is the self-healing layer between the overlays and
+// the transport. The paper's Section 5 challenges single out dynamics —
+// churn, mobility, underlay failures — as the force that invalidates
+// collected underlay information; this package supplies the machinery an
+// overlay needs to survive them:
+//
+//   - Backoff: jittered exponential retry spacing driven by the seeded
+//     RNG, pluggable into transport.RetryPolicy,
+//   - Detector: a sim-time ping/timeout failure detector that watches
+//     peers over the shared transport and drives the
+//     Suspect/Evict/Replace contract,
+//   - Healer: the callback contract every overlay implements to repair
+//     its structures when a peer is declared dead (bucket eviction,
+//     ultrapeer re-election, successor repair, choke-set refill, parent
+//     re-attach).
+//
+// Everything here is deterministic: ping traffic rides the instrumented
+// transport (counted, charged, traceable), timers live on the sim
+// kernel, and every random draw comes from a caller-supplied seeded
+// stream — so runs stay bit-identical per seed with resilience enabled.
+package resilience
+
+import (
+	"math/rand"
+
+	"unap2p/internal/sim"
+	"unap2p/internal/transport"
+)
+
+// Backoff computes jittered exponential retry delays. The zero value is
+// unusable; construct with explicit Base/Max (Factor defaults to 2 at
+// use). Delay(n) for attempt n (1-based) is Base·Factor^(n-1) capped at
+// Max, then jittered by ±Jitter fraction using Rand.
+type Backoff struct {
+	// Base is the nominal delay before the first retry.
+	Base sim.Duration
+	// Max caps the nominal delay (pre-jitter). Zero means no cap.
+	Max sim.Duration
+	// Factor is the per-attempt growth multiplier; values < 1 (including
+	// the zero value) are treated as 2.
+	Factor float64
+	// Jitter is the symmetric jitter fraction in [0,1): the delay is
+	// scaled by a uniform factor in [1-Jitter, 1+Jitter). Requires Rand
+	// when positive.
+	Jitter float64
+	// Rand supplies jitter draws; use a sim.Source stream so retry
+	// timing is reproducible per seed.
+	Rand *rand.Rand
+}
+
+func (b Backoff) factor() float64 {
+	if b.Factor < 1 {
+		return 2
+	}
+	return b.Factor
+}
+
+// Nominal returns the un-jittered delay for attempt n (1-based):
+// Base·Factor^(n-1), capped at Max. It is monotone non-decreasing in n.
+func (b Backoff) Nominal(attempt int) sim.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(b.Base)
+	f := b.factor()
+	for i := 1; i < attempt; i++ {
+		d *= f
+		if b.Max > 0 && d >= float64(b.Max) {
+			return b.Max
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		return b.Max
+	}
+	return sim.Duration(d)
+}
+
+// Bounds returns the interval [lo, hi] that Delay(attempt) is guaranteed
+// to fall in — the contract the property tests pin.
+func (b Backoff) Bounds(attempt int) (lo, hi sim.Duration) {
+	n := float64(b.Nominal(attempt))
+	return sim.Duration(n * (1 - b.Jitter)), sim.Duration(n * (1 + b.Jitter))
+}
+
+// Delay returns the jittered delay for attempt n (1-based). With Jitter
+// zero no RNG is drawn and Delay equals Nominal exactly.
+func (b Backoff) Delay(attempt int) sim.Duration {
+	d := float64(b.Nominal(attempt))
+	if b.Jitter > 0 {
+		if b.Rand == nil {
+			panic("resilience: Backoff.Jitter requires Rand")
+		}
+		d *= 1 + b.Jitter*(2*b.Rand.Float64()-1)
+	}
+	return sim.Duration(d)
+}
+
+// Policy adapts the backoff into a transport retry policy with the given
+// extra-attempt budget — the caller-supplied budget/backoff pair that
+// transport.RoundTripWith consumes.
+func (b Backoff) Policy(budget int) transport.RetryPolicy {
+	return transport.RetryPolicy{Budget: budget, Backoff: b.Delay}
+}

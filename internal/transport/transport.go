@@ -79,6 +79,13 @@ type Faults struct {
 	// Rand is the dedicated RNG stream for loss and jitter draws; use a
 	// sim.Source stream so faults are reproducible per seed.
 	Rand *rand.Rand
+	// Drop, when non-nil, is consulted per message before the LossRate
+	// draw; returning true discards the message. It is the hook scenario
+	// harnesses (internal/chaos) use for endpoint-aware faults — AS
+	// partitions, correlated per-AS loss bursts — that a flat loss rate
+	// cannot express. Any randomness inside Drop must come from its own
+	// seeded stream to keep runs reproducible.
+	Drop func(from, to *underlay.Host) bool
 }
 
 func (f Faults) active() bool { return f.LossRate > 0 || f.ExtraDelay > 0 || f.JitterMax > 0 }
@@ -97,8 +104,13 @@ type Messenger interface {
 	Send(from, to *underlay.Host, bytes uint64, msgType string) Result
 	// RoundTrip sends a request and its reply, returning the summed
 	// round-trip latency — the request/reply idiom every RPC-style
-	// overlay shares.
+	// overlay shares. Dropped legs are retried under the transport's
+	// default RetryPolicy.
 	RoundTrip(from, to *underlay.Host, reqBytes, respBytes uint64, reqType, respType string) Result
+	// RoundTripWith is RoundTrip under a caller-supplied retry policy —
+	// per-peer budgets and backoff schedules (internal/resilience) ride
+	// the same instrumented path.
+	RoundTripWith(p RetryPolicy, from, to *underlay.Host, reqBytes, respBytes uint64, reqType, respType string) Result
 	// Probe measures the RTT between two hosts with a real probe/response
 	// message pair (type "probe"), charging the measurement traffic §3.2
 	// warns about.
@@ -144,10 +156,12 @@ type Transport struct {
 
 	// Faults configures deterministic loss and delay injection.
 	Faults Faults
-	// Retries is how many extra attempts RoundTrip makes when either leg
-	// is dropped; retries are real (counted, charged) messages, so
-	// overlay recovery traffic stays bounded and visible.
-	Retries int
+	// Retry is the default policy RoundTrip applies when either leg is
+	// dropped; retries are real (counted, charged) messages, so overlay
+	// recovery traffic stays bounded and visible. The zero value retries
+	// nothing. Callers with per-peer policies (internal/resilience) pass
+	// their own via RoundTripWith instead.
+	Retry RetryPolicy
 	// Trace, when non-nil, observes every message (including drops).
 	Trace func(Event)
 	// log, when non-nil, receives every message event in place — see
@@ -330,8 +344,13 @@ func (t *Transport) stats(msgType string) *typeStats {
 // type string.
 func (t *Transport) TypeByID(id uint32) string { return t.typeNames[id] }
 
-// dropped draws the loss decision for one message.
-func (t *Transport) dropped() bool {
+// dropped draws the loss decision for one message. The endpoint-aware
+// Drop hook is consulted first so a chaos schedule can partition or
+// degrade specific AS pairs without perturbing the flat LossRate stream.
+func (t *Transport) dropped(from, to *underlay.Host) bool {
+	if d := t.Faults.Drop; d != nil && d(from, to) {
+		return true
+	}
 	if t.Faults.LossRate <= 0 {
 		return false
 	}
@@ -361,7 +380,7 @@ func (t *Transport) Send(from, to *underlay.Host, bytes uint64, msgType string) 
 	st := t.stats(msgType)
 	t.msgs.Get(msgType).Inc()
 	st.msgs++
-	if t.dropped() {
+	if t.dropped(from, to) {
 		st.dropped++
 		if l := t.log; l != nil {
 			*l.slot() = LogEntry{At: t.now(), Bytes: bytes,
@@ -394,21 +413,50 @@ func (t *Transport) Send(from, to *underlay.Host, bytes uint64, msgType string) 
 	return Result{Latency: lat, OK: true}
 }
 
-// RoundTrip performs a request/reply exchange, retrying a dropped leg up
-// to Retries extra attempts. It returns the summed round-trip latency of
-// the successful attempt.
+// RetryPolicy governs how RoundTrip reacts to a dropped leg. The zero
+// value makes a single attempt and gives up — identical to the seed
+// behaviour, so existing fixed-seed results are unchanged.
+type RetryPolicy struct {
+	// Budget is the number of extra attempts after the first; each retry
+	// re-sends the full request (and, on delivery, the reply), so every
+	// attempt is a real counted, charged message.
+	Budget int
+	// Backoff, when non-nil, returns the wait inserted before retry
+	// attempt n (1-based: Backoff(1) precedes the first re-send). Waits
+	// are charged into the successful Result.Latency so recovery time is
+	// visible to the caller; they draw no transport RNG, keeping the
+	// fault stream stable. A resilience layer supplies a jittered
+	// exponential backoff here from its own seeded stream.
+	Backoff func(attempt int) sim.Duration
+}
+
+// RoundTrip performs a request/reply exchange under the transport's
+// default Retry policy. It returns the summed round-trip latency of the
+// successful attempt plus any backoff waits spent reaching it.
 func (t *Transport) RoundTrip(from, to *underlay.Host, reqBytes, respBytes uint64,
 	reqType, respType string) Result {
+	return t.RoundTripWith(t.Retry, from, to, reqBytes, respBytes, reqType, respType)
+}
+
+// RoundTripWith is RoundTrip with a caller-supplied retry policy — the
+// seam that lets per-peer policies (failure detectors, backoff schedules)
+// drive the shared send path without mutating transport-wide state.
+func (t *Transport) RoundTripWith(p RetryPolicy, from, to *underlay.Host,
+	reqBytes, respBytes uint64, reqType, respType string) Result {
+	var waited sim.Duration
 	for attempt := 0; ; attempt++ {
 		req := t.Send(from, to, reqBytes, reqType)
 		if req.OK {
 			resp := t.Send(to, from, respBytes, respType)
 			if resp.OK {
-				return Result{Latency: req.Latency + resp.Latency, OK: true}
+				return Result{Latency: waited + req.Latency + resp.Latency, OK: true}
 			}
 		}
-		if attempt >= t.Retries {
+		if attempt >= p.Budget {
 			return Result{}
+		}
+		if p.Backoff != nil {
+			waited += p.Backoff(attempt + 1)
 		}
 	}
 }

@@ -227,7 +227,7 @@ func TestRoundTripRetries(t *testing.T) {
 	// Drop everything: with N retries the transport makes exactly N+1
 	// request attempts and then gives up.
 	tr.Faults = Faults{LossRate: 1, Rand: sim.NewSource(3).Stream("faults")}
-	tr.Retries = 2
+	tr.Retry = RetryPolicy{Budget: 2}
 	hosts := net.Hosts()
 	res := tr.RoundTrip(hosts[0], hosts[5], 100, 100, "req", "resp")
 	if res.OK {
