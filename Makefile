@@ -4,15 +4,16 @@ GO ?= go
 # for publication-quality numbers.
 BENCHTIME ?= 100ms
 
-.PHONY: ci vet build test race bench bench-json cover series-demo chaos fuzz-smoke
+.PHONY: ci vet build test race bench bench-json cover series-demo chaos fuzz-smoke megascale-smoke
 
 # ci is the full verification gate: static analysis, a clean build of
 # every package, the test suite under the race detector, the chaos
-# suite, a fuzz smoke of the schedule parser, and an end-to-end smoke
-# of the probe plane (record → sample → series). Benchmarks and the
-# coverage summary run afterwards as non-fatal reporting steps (a perf
-# regression or coverage dip is visible but does not gate).
-ci: vet build race chaos fuzz-smoke series-demo
+# suite, a fuzz smoke of the schedule parser, an end-to-end smoke of
+# the probe plane (record → sample → series), and a mid-size sharded-
+# kernel run under race. Benchmarks and the coverage summary run
+# afterwards as non-fatal reporting steps (a perf regression or
+# coverage dip is visible but does not gate).
+ci: vet build race chaos fuzz-smoke series-demo megascale-smoke
 	-$(MAKE) bench
 	-$(MAKE) cover
 
@@ -36,7 +37,7 @@ bench:
 # bench-json snapshots the benchmark suite into a stable JSON artifact
 # so later PRs can diff ns/op against this one. -count=6 gives the
 # averaging in bench-import something to chew on.
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR6.json
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCHTIME) -benchmem -count=6 ./... \
 		| $(GO) run ./cmd/unapctl bench-import -o $(BENCH_JSON)
@@ -60,6 +61,16 @@ chaos:
 # -ended runtime of a real fuzzing campaign.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSchedule -fuzztime=10s ./internal/chaos/
+
+# megascale-smoke runs the sharded kernel at CI-sized scale — ~50k
+# peers over 4 shards with churn, under the race detector. Catches
+# shard-ownership violations that the small unit tests are too sparse
+# to provoke. MEGASMOKE_PEERS scales it up (the full 1M-peer study is
+# `unapctl record -exp exp-megascale -param peers=1000000`).
+MEGASMOKE_PEERS ?= 50000
+megascale-smoke:
+	UNAP_MEGASMOKE_PEERS=$(MEGASMOKE_PEERS) \
+		$(GO) test -race -run 'TestMegascaleSmoke' -v ./internal/integration/
 
 # series-demo exercises the whole probe pipeline end to end: record a
 # Gnutella experiment with a 50 ms sim-time probe, then render its

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	unapctl record -exp <id> [-seed N] [-scale S] [-o run.jsonl] [-events N] [-prom metrics.txt] [-probe MS] [-serve addr]
+//	unapctl record -exp <id> [-seed N] [-scale S] [-param name=value]... [-o run.jsonl] [-events N] [-prom metrics.txt] [-probe MS] [-serve addr]
 //	unapctl report <run.jsonl>
 //	unapctl diff [-threshold 0.02] <a.jsonl> <b.jsonl>
 //	unapctl series [-metric glob] [-csv] <run.jsonl>
@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"unap2p/internal/experiments"
 	"unap2p/internal/sim"
@@ -63,7 +64,7 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `unapctl — telemetry run management for unap2p
 
-  unapctl record -exp <id> [-seed N] [-scale S] [-o run.jsonl] [-events N] [-prom metrics.txt] [-probe MS] [-serve addr]
+  unapctl record -exp <id> [-seed N] [-scale S] [-param name=value]... [-o run.jsonl] [-events N] [-prom metrics.txt] [-probe MS] [-serve addr]
       run an experiment with a telemetry Recorder attached and write a
       run file (manifest + JSONL events + closing metrics snapshot);
       -probe attaches a sim-time Probe sampling every MS simulated
@@ -95,15 +96,17 @@ func usage() {
 func cmdRecord(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	var (
-		exp    = fs.String("exp", "", "experiment id (see underlaysim -list)")
-		seed   = fs.Int64("seed", 1, "random seed")
-		scale  = fs.Float64("scale", 1.0, "workload scale factor")
-		out    = fs.String("o", "run.jsonl", "run file to write")
-		events   = fs.Int("events", 1<<16, "event ring capacity")
-		prom     = fs.String("prom", "", "also write the metrics snapshot in Prometheus text format")
-		probeMS  = fs.Float64("probe", 0, "attach a Probe sampling every N simulated ms (0 = off)")
-		serveOn  = fs.String("serve", "", "serve live /metrics and /debug/pprof/ on this address while recording (implies -probe 100 unless set)")
+		exp     = fs.String("exp", "", "experiment id (see underlaysim -list)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		scale   = fs.Float64("scale", 1.0, "workload scale factor")
+		out     = fs.String("o", "run.jsonl", "run file to write")
+		events  = fs.Int("events", 1<<16, "event ring capacity")
+		prom    = fs.String("prom", "", "also write the metrics snapshot in Prometheus text format")
+		probeMS = fs.Float64("probe", 0, "attach a Probe sampling every N simulated ms (0 = off)")
+		serveOn = fs.String("serve", "", "serve live /metrics and /debug/pprof/ on this address while recording (implies -probe 100 unless set)")
 	)
+	params := paramFlag{}
+	fs.Var(params, "param", "experiment parameter as name=value (repeatable)")
 	fs.Parse(args)
 	if *exp == "" {
 		return fmt.Errorf("record: -exp is required")
@@ -126,9 +129,10 @@ func cmdRecord(args []string) error {
 			Experiment: *exp,
 			Seed:       *seed,
 			Scale:      *scale,
+			Params:     params,
 		},
 	})
-	cfg := experiments.RunConfig{Seed: *seed, Scale: *scale, Obs: rec}
+	cfg := experiments.RunConfig{Seed: *seed, Scale: *scale, Obs: rec, Params: params}
 	var probe *telemetry.Probe
 	if *probeMS > 0 {
 		probe = telemetry.NewProbe(rec, telemetry.ProbeConfig{Interval: sim.Duration(*probeMS)})
@@ -252,6 +256,26 @@ func printReport(run *telemetry.Run, top int) {
 		fmt.Printf("  %-52s %14.3f\n", n, flat[n])
 		shown++
 	}
+}
+
+// paramFlag collects repeatable -param name=value experiment knobs.
+type paramFlag map[string]string
+
+func (p paramFlag) String() string {
+	parts := make([]string, 0, len(p))
+	for _, k := range sortedParamKeys(p) {
+		parts = append(parts, k+"="+p[k])
+	}
+	return fmt.Sprint(parts)
+}
+
+func (p paramFlag) Set(s string) error {
+	name, value, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("param %q: want name=value", s)
+	}
+	p[name] = value
+	return nil
 }
 
 func sortedParamKeys[V any](m map[string]V) []string {

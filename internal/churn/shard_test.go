@@ -1,0 +1,106 @@
+package churn
+
+import (
+	"reflect"
+	"testing"
+
+	"unap2p/internal/sim"
+	"unap2p/internal/underlay"
+)
+
+func buildTable(t *testing.T, perAS, K int) (*underlay.PeerTable, *underlay.Partition, *sim.ShardedKernel) {
+	t.Helper()
+	u := underlay.New()
+	transit := u.AddAS(underlay.TransitISP, 2)
+	for i := 0; i < 4; i++ {
+		stub := u.AddAS(underlay.LocalISP, 4)
+		u.ConnectTransit(stub, transit, 10)
+	}
+	u.ComputeRoutes()
+	pt := underlay.NewPeerTable(u, 4*perAS)
+	for as := 1; as <= 4; as++ {
+		for j := 0; j < perAS; j++ {
+			pt.AddPeer(as, 3)
+		}
+	}
+	part := underlay.PartitionASes(u.NumASes(),
+		func(as int) int { return pt.PeersPerAS()[int32(as)] }, K)
+	return pt, part, sim.NewSharded(K, 10)
+}
+
+// TestShardDriverKIndependent pins that the full churn schedule — which
+// peer flips, in which direction, at what simulated time — is identical
+// for K=1 and K=4, because draws are stateless hashes of
+// (seed, peer, counter) rather than a shared RNG stream.
+func TestShardDriverKIndependent(t *testing.T) {
+	type flip struct {
+		At sim.Time
+		Up bool
+	}
+	run := func(K int) ([][]flip, uint64, uint64) {
+		pt, part, sk := buildTable(t, 8, K)
+		logs := make([][]flip, pt.Len()) // logs[p] owned by p's shard
+		d := &ShardDriver{
+			Seed: 42, Table: pt, Part: part, Sk: sk,
+			MeanOn: 50, MeanOff: 20,
+			Churns:  func(p underlay.PeerID) bool { return p%2 == 0 },
+			OnJoin:  func(p underlay.PeerID) { logs[p] = append(logs[p], flip{sk.Shard(part.ShardOf(pt, p)).Now(), true}) },
+			OnLeave: func(p underlay.PeerID) { logs[p] = append(logs[p], flip{sk.Shard(part.ShardOf(pt, p)).Now(), false}) },
+		}
+		d.Start()
+		sk.Run(500)
+		return logs, d.Joins(), d.Leaves()
+	}
+	l1, j1, v1 := run(1)
+	l4, j4, v4 := run(4)
+	if j1 != j4 || v1 != v4 {
+		t.Fatalf("counters diverge: joins %d/%d leaves %d/%d", j1, j4, v1, v4)
+	}
+	if v1 == 0 {
+		t.Fatal("no churn happened in 500ms with MeanOn=50")
+	}
+	if !reflect.DeepEqual(l1, l4) {
+		t.Fatal("churn schedules diverge between K=1 and K=4")
+	}
+	// Non-churners never flip.
+	for p, l := range l1 {
+		if p%2 == 1 && len(l) != 0 {
+			t.Fatalf("non-churner %d flipped", p)
+		}
+	}
+}
+
+// TestShardDriverLivenessConsistent checks flips alternate down/up and
+// the table's liveness matches the last flip after the run.
+func TestShardDriverLivenessConsistent(t *testing.T) {
+	pt, part, sk := buildTable(t, 4, 2)
+	last := make([]int8, pt.Len()) // -1 down, +1 up; owned per shard
+	d := &ShardDriver{
+		Seed: 7, Table: pt, Part: part, Sk: sk,
+		MeanOn: 30, MeanOff: 30,
+		OnJoin:  func(p underlay.PeerID) { last[p] = 1 },
+		OnLeave: func(p underlay.PeerID) { last[p] = -1 },
+	}
+	d.Start()
+	sk.Run(300)
+	for p := 0; p < pt.Len(); p++ {
+		up := pt.Up(underlay.PeerID(p))
+		switch last[p] {
+		case 0:
+			if !up {
+				t.Fatalf("peer %d never flipped but is down", p)
+			}
+		case 1:
+			if !up {
+				t.Fatalf("peer %d last joined but is down", p)
+			}
+		case -1:
+			if up {
+				t.Fatalf("peer %d last left but is up", p)
+			}
+		}
+	}
+	if d.Leaves() < d.Joins() {
+		t.Fatalf("joins %d exceed leaves %d", d.Joins(), d.Leaves())
+	}
+}

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"unap2p/internal/churn"
@@ -54,6 +55,34 @@ type RunConfig struct {
 	// default) records nothing and leaves every construction identical
 	// to the pre-telemetry code path.
 	Obs Observer
+	// Params carries optional per-experiment string parameters
+	// (unapctl record -param name=value). Experiments read them through
+	// param/paramInt; unknown keys are ignored. An absent map is
+	// equivalent to an empty one, so existing fixed-seed runs are
+	// untouched.
+	Params map[string]string
+}
+
+// param returns Params[name], or def when absent/empty.
+func (c RunConfig) param(name, def string) string {
+	if v, ok := c.Params[name]; ok && v != "" {
+		return v
+	}
+	return def
+}
+
+// paramInt returns Params[name] parsed as an int, or def when absent or
+// unparseable.
+func (c RunConfig) paramInt(name string, def int) int {
+	v, ok := c.Params[name]
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil {
+		return def
+	}
+	return n
 }
 
 // newTransport builds a Transport and attaches the observer (and the
@@ -93,6 +122,17 @@ func (c RunConfig) observeMobility(m *mobility.Model) *mobility.Model {
 		c.Obs.ObserveMobility(m)
 	}
 	return m
+}
+
+// observeSharded attaches the observer to a sharded kernel when it
+// supports one (the telemetry Recorder and Probe do; the capability is
+// structural so this package never imports internal/telemetry).
+func (c RunConfig) observeSharded(sk *sim.ShardedKernel) {
+	if o, ok := c.Obs.(interface {
+		ObserveShardedKernel(*sim.ShardedKernel)
+	}); ok {
+		o.ObserveShardedKernel(sk)
+	}
 }
 
 // observeHealth registers an overlay-health source with the observer

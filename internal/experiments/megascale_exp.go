@@ -1,0 +1,285 @@
+// exp-megascale: the sharded-kernel scaling study. A compact Kademlia
+// DHT over struct-of-arrays peer state runs lookups under churn at a
+// sweep of population sizes on a K-shard lock-step kernel, reporting a
+// peers-vs-wall-clock/RSS scaling curve. This is the experiment that
+// demonstrates the megascale headroom ROADMAP items 2–5 build on —
+// D-P2P-Sim+ (PAPERS.md) exists because single-threaded P2P simulators
+// cap out near testlab scale; the sharded kernel removes that cap while
+// keeping runs byte-identical per (seed, shard count).
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"unap2p/internal/churn"
+	"unap2p/internal/overlay/kademlia"
+	"unap2p/internal/sim"
+	"unap2p/internal/topology"
+	"unap2p/internal/transport"
+	"unap2p/internal/underlay"
+)
+
+func init() {
+	register("exp-megascale",
+		"Sharded-kernel scaling — compact Kademlia lookups under churn, peers vs wall-clock/RSS",
+		runMegascale)
+}
+
+// megascalePoint is one size point of the sweep.
+type megascalePoint struct {
+	peers       int
+	events      uint64
+	epochs      uint64
+	crossBytes  uint64
+	lateEvents  uint64
+	lookups     uint64
+	successRate float64
+	meanHops    float64
+	simEnd      sim.Time
+	wall        time.Duration
+	peakRSSMB   float64
+}
+
+// runMegascale sweeps population sizes up to Params["peers"] (default
+// 20000×Scale) over Params["shards"] shards (default 4) and reports the
+// scaling curve. Determinism: everything in the run file is a pure
+// function of (seed, peers, shards) — wall-clock and RSS appear only in
+// the stdout table unless Params["wallclock"]=1 explicitly opts the
+// (nondeterministic) scaling health source into the run file for
+// `unapctl series` rendering.
+func runMegascale(cfg RunConfig) Result {
+	maxPeers := cfg.paramInt("peers", cfg.scaled(20000))
+	if maxPeers < 100 {
+		maxPeers = 100
+	}
+	shards := cfg.paramInt("shards", 4)
+	if shards < 1 {
+		shards = 1
+	}
+	wallInRunFile := cfg.param("wallclock", "") == "1"
+
+	// Three-point sweep toward the target population.
+	sizes := []int{maxPeers / 4, maxPeers / 2, maxPeers}
+	if sizes[0] < 100 {
+		sizes = []int{maxPeers}
+	}
+
+	var points []megascalePoint
+	// scaling health source: the most recent point, sampled once per
+	// point boundary when wallclock is opted in.
+	if wallInRunFile {
+		cfg.observeHealth("scaling", func() map[string]float64 {
+			if len(points) == 0 {
+				return map[string]float64{}
+			}
+			p := points[len(points)-1]
+			return map[string]float64{
+				"peers":   float64(p.peers),
+				"wall_ms": float64(p.wall.Milliseconds()),
+				"rss_mb":  p.peakRSSMB,
+			}
+		})
+	}
+
+	for _, n := range sizes {
+		pt := runMegascalePoint(cfg, n, shards)
+		points = append(points, pt)
+		if wallInRunFile {
+			cfg.sampleObs()
+		}
+	}
+
+	res := Result{
+		ID:    "exp-megascale",
+		Title: fmt.Sprintf("sharded-kernel scaling, K=%d shards", shards),
+		Headers: []string{"peers", "events", "epochs", "xbytes", "late",
+			"lookups", "exact", "hops", "sim_end", "wall", "peak_rss"},
+	}
+	for _, p := range points {
+		// Wall-clock and RSS are measured, not simulated: they vary
+		// run-to-run, so they only appear when -param wallclock=1 opts
+		// out of the byte-identical-output guarantee.
+		wall, rss := "-", "-"
+		if wallInRunFile {
+			wall = p.wall.Round(time.Millisecond).String()
+			rss = fmt.Sprintf("%.0fMB", p.peakRSSMB)
+		}
+		res.Rows = append(res.Rows, []string{
+			di(p.peers), d(p.events), d(p.epochs), d(p.crossBytes), d(p.lateEvents),
+			d(p.lookups), pct(p.successRate), f2(p.meanHops),
+			fmt.Sprintf("%.0fms", float64(p.simEnd)), wall, rss,
+		})
+	}
+	last := points[len(points)-1]
+	res.Notes = append(res.Notes,
+		"runs are byte-identical per (seed, shards); K=1 reproduces the single-kernel schedule bit-for-bit",
+		fmt.Sprintf("largest point: %d peers, %d events, %.1f%% exact lookups",
+			last.peers, last.events, 100*last.successRate),
+		"pass -param wallclock=1 to include measured wall/RSS (and the scaling health source in the run file)",
+	)
+	if last.lateEvents > 0 {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("WARNING: %d late cross-shard events — epoch window exceeded lookahead", last.lateEvents))
+	}
+	return res
+}
+
+// runMegascalePoint builds and runs one population size end to end.
+func runMegascalePoint(cfg RunConfig, peers, shards int) megascalePoint {
+	start := time.Now()
+	src := sim.NewSource(cfg.Seed).Fork("megascale")
+	seed := uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(peers)
+
+	// Underlay: two-tier transit/stub Internet sized so stubs hold a few
+	// thousand peers each at the top size.
+	stubs := peers / 2000
+	if stubs < 8 {
+		stubs = 8
+	}
+	if stubs > 512 {
+		stubs = 512
+	}
+	transits := stubs / 16
+	if transits < 2 {
+		transits = 2
+	}
+	net := topology.TransitStub(topology.TransitStubConfig{
+		Config:          topology.Config{IntraDelay: 5, LinkDelay: 20, Rand: src.Stream("topo")},
+		Transits:        transits,
+		Stubs:           stubs,
+		MultihomeProb:   0.2,
+		StubPeeringProb: 0.1,
+	})
+	net.ComputeRoutes() // sharded runs must never lazily compute routes
+
+	// Compact SoA peer state: peers spread over stub ASes by hash, with
+	// a small deterministic access-delay spread.
+	stubASes := make([]int, 0, stubs)
+	for _, a := range net.ASes() {
+		if a.Kind == underlay.LocalISP {
+			stubASes = append(stubASes, a.ID)
+		}
+	}
+	pt := underlay.NewPeerTable(net, peers)
+	for i := 0; i < peers; i++ {
+		h := megamix(seed ^ uint64(i)<<1)
+		as := stubASes[int(h%uint64(len(stubASes)))]
+		pt.AddPeer(as, sim.Duration(2+h>>32%8))
+	}
+	part := underlay.PartitionASes(net.NumASes(),
+		func(as int) int { return pt.PeersPerAS()[int32(as)] }, shards)
+
+	// Epoch window = the conservative lookahead bound.
+	window := underlay.MinCrossShardLatency(pt, part)
+	if window <= 0 {
+		window = 10
+	}
+	sk := sim.NewSharded(shards, window)
+	cfg.observeSharded(sk)
+
+	snet := transport.NewShardedNet(net, pt, part, sk, []string{"req", "rep"})
+	dcfg := kademlia.DefaultCompactConfig()
+	dht := kademlia.NewCompact(snet, dcfg, seed^0xd417, 0, 1)
+	dht.Seed(seed^0x5eed, 20, 4)
+	cfg.observeHealth("megascale", dht.HealthStats)
+	cfg.observeHealth("shardednet", snet.HealthStats)
+
+	// Churn: ~20% of peers cycle with 5-minute sessions and 2-minute
+	// absences. K-independent by construction (stateless per-peer draws).
+	drv := &churn.ShardDriver{
+		Seed: seed ^ 0xc42, Table: pt, Part: part, Sk: sk,
+		MeanOn: 300_000 * sim.Millisecond, MeanOff: 120_000 * sim.Millisecond,
+		Churns: func(p underlay.PeerID) bool { return megamix(seed^0xcc^uint64(p))%5 == 0 },
+	}
+	drv.Start()
+	cfg.observeHealth("megachurn", func() map[string]float64 {
+		return map[string]float64{
+			"joins":  float64(drv.Joins()),
+			"leaves": float64(drv.Leaves()),
+			"online": float64(pt.UpCount()),
+		}
+	})
+
+	// Workload: a deterministic subset of peers each issue one lookup for
+	// a pseudo-random target, spread over the first 60 s.
+	const horizon = 120_000 * sim.Millisecond
+	stride := peers / 2000
+	if stride < 1 {
+		stride = 1
+	}
+	for p := 0; p < peers; p += stride {
+		p := underlay.PeerID(p)
+		target := kademlia.NodeID(megamix(seed ^ 0x700c ^ uint64(p)))
+		at := sim.Duration(megamix(seed^0x7111^uint64(p))%60_000) * sim.Millisecond
+		sk.Shard(part.ShardOf(pt, p)).At(at, func() {
+			dht.Lookup(p, target, nil)
+		})
+	}
+
+	// Sample observers at epoch barriers with a stride, so run files get
+	// convergence curves without a sample per epoch.
+	var barriers uint64
+	sk.OnBarrier = func(now sim.Time) {
+		barriers++
+		if barriers%64 == 0 {
+			cfg.sampleObs()
+		}
+	}
+
+	end := sk.Run(horizon)
+
+	st := sk.Stats()
+	ls := dht.Stats()
+	var crossBytes uint64
+	for _, sh := range st.Shards {
+		crossBytes += sh.CrossBytes
+	}
+	return megascalePoint{
+		peers:       peers,
+		events:      st.Processed,
+		epochs:      st.Epochs,
+		crossBytes:  crossBytes,
+		lateEvents:  st.LateEvents,
+		lookups:     ls.Done,
+		successRate: ls.SuccessRate(),
+		meanHops:    ls.MeanHops(),
+		simEnd:      end,
+		wall:        time.Since(start),
+		peakRSSMB:   peakRSSMB(),
+	}
+}
+
+// megamix is the splitmix64 finalizer.
+func megamix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// peakRSSMB reads the process's peak resident set (VmHWM) from
+// /proc/self/status, falling back to the Go runtime's Sys figure.
+func peakRSSMB() float64 {
+	if b, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if strings.HasPrefix(line, "VmHWM:") {
+				f := strings.Fields(line)
+				if len(f) >= 2 {
+					if kb, err := strconv.ParseFloat(f[1], 64); err == nil {
+						return kb / 1024
+					}
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Sys) / (1 << 20)
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func megaCfg(peers, shards string) RunConfig {
+	return RunConfig{Seed: 5, Scale: 1, Params: map[string]string{
+		"peers": peers, "shards": shards,
+	}}
+}
+
+// TestMegascaleShape runs the scaling sweep at toy size and checks the
+// table carries a full three-point curve with live lookups.
+func TestMegascaleShape(t *testing.T) {
+	r := mustRun(t, "exp-megascale", megaCfg("2000", "2"))
+	if len(r.Rows) != 3 {
+		t.Fatalf("want 3 sweep points, got %d", len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		if cell(t, row[1]) <= 0 {
+			t.Fatalf("point %d processed no events", i)
+		}
+		if cell(t, row[4]) != 0 {
+			t.Fatalf("point %d has late cross-shard events: %s", i, row[4])
+		}
+		if cell(t, row[5]) <= 0 {
+			t.Fatalf("point %d completed no lookups", i)
+		}
+	}
+	// Event counts grow with population.
+	if cell(t, r.Rows[2][1]) <= cell(t, r.Rows[0][1]) {
+		t.Fatal("events should grow with peers")
+	}
+	// Lookups on the largest point mostly find the exact closest peer.
+	if cell(t, r.Rows[2][6]) < 80 {
+		t.Fatalf("exact rate %s%% too low under churn", r.Rows[2][6])
+	}
+	// Default run hides measured wall/RSS for determinism.
+	if r.Rows[0][9] != "-" || r.Rows[0][10] != "-" {
+		t.Fatalf("wall/rss should be gated, got %q/%q", r.Rows[0][9], r.Rows[0][10])
+	}
+}
+
+// TestMegascaleShardCountInvariant checks the shard count is a pure
+// performance knob: each K is bit-reproducible on its own, and the
+// simulated outcomes agree across K up to timestamp-tie reordering
+// (events at identical times merge in (time, shard, seq) order under
+// K>1 versus global seq order under K=1, so raw event counts may drift
+// by a hair while the workload-level results stay put).
+func TestMegascaleShardCountInvariant(t *testing.T) {
+	r1 := mustRun(t, "exp-megascale", megaCfg("1600", "1"))
+	r4 := mustRun(t, "exp-megascale", megaCfg("1600", "4"))
+	if mustRun(t, "exp-megascale", megaCfg("1600", "4")).Render() != r4.Render() {
+		t.Fatal("K=4 run is not reproducible")
+	}
+	if len(r1.Rows) != len(r4.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(r1.Rows), len(r4.Rows))
+	}
+	for i := range r1.Rows {
+		// Same sweep points, all issued lookups complete under both.
+		if r1.Rows[i][0] != r4.Rows[i][0] {
+			t.Fatalf("row %d peers: %q vs %q", i, r1.Rows[i][0], r4.Rows[i][0])
+		}
+		if r1.Rows[i][5] != r4.Rows[i][5] {
+			t.Fatalf("row %d lookups: K=1 %q vs K=4 %q", i, r1.Rows[i][5], r4.Rows[i][5])
+		}
+		ev1, ev4 := cell(t, r1.Rows[i][1]), cell(t, r4.Rows[i][1])
+		if diff := ev4 - ev1; diff > ev1/100 || diff < -ev1/100 {
+			t.Fatalf("row %d events drift beyond 1%%: %v vs %v", i, ev1, ev4)
+		}
+		ex1, ex4 := cell(t, r1.Rows[i][6]), cell(t, r4.Rows[i][6])
+		if diff := ex4 - ex1; diff > 5 || diff < -5 {
+			t.Fatalf("row %d exact rate: %v%% vs %v%%", i, ex1, ex4)
+		}
+	}
+	// K=1 has no cross-shard traffic; K=4 must have some.
+	if cell(t, r1.Rows[2][3]) != 0 {
+		t.Fatal("K=1 recorded cross-shard bytes")
+	}
+	if cell(t, r4.Rows[2][3]) == 0 {
+		t.Fatal("K=4 recorded no cross-shard bytes")
+	}
+}
+
+// TestMegascaleWallclockOptIn checks -param wallclock=1 surfaces the
+// measured columns.
+func TestMegascaleWallclockOptIn(t *testing.T) {
+	cfg := megaCfg("800", "2")
+	cfg.Params["wallclock"] = "1"
+	r := mustRun(t, "exp-megascale", cfg)
+	for _, row := range r.Rows {
+		if row[9] == "-" || row[10] == "-" {
+			t.Fatalf("wallclock=1 should emit measured columns, got %q/%q", row[9], row[10])
+		}
+		if !strings.HasSuffix(row[10], "MB") {
+			t.Fatalf("rss cell %q not in MB", row[10])
+		}
+	}
+}

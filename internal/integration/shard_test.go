@@ -1,0 +1,113 @@
+package integration
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"unap2p/internal/experiments"
+	"unap2p/internal/telemetry"
+)
+
+// recordMegascale runs exp-megascale with a telemetry probe attached —
+// the same wiring as `unapctl record -probe` — and returns the full run
+// file bytes plus the rendered result table.
+func recordMegascale(t *testing.T, seed int64, peers, shards int) ([]byte, *experiments.Result) {
+	t.Helper()
+	params := map[string]string{
+		"peers":  strconv.Itoa(peers),
+		"shards": strconv.Itoa(shards),
+	}
+	var buf bytes.Buffer
+	rec := telemetry.NewRecorder(telemetry.Config{
+		Capacity: 1 << 14,
+		Sink:     telemetry.NewRunWriter(&buf),
+		Manifest: telemetry.Manifest{
+			Name: "exp-megascale", Experiment: "exp-megascale",
+			Seed: seed, Scale: 1, Params: params,
+		},
+	})
+	probe := telemetry.NewProbe(rec, telemetry.ProbeConfig{})
+	res, err := experiments.Run("exp-megascale", experiments.RunConfig{
+		Seed: seed, Scale: 1, Obs: probe, Params: params,
+	})
+	if err != nil {
+		t.Fatalf("exp-megascale: %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("close recorder: %v", err)
+	}
+	return buf.Bytes(), &res
+}
+
+// TestMegascaleRunFilesByteIdentical pins the reproducibility contract
+// from the sharded-kernel refactor: for a fixed (seed, shard count) the
+// entire run file — manifest, barrier samples, closing metrics snapshot
+// — and the rendered table are byte-for-byte identical across runs.
+// Three seeds, single-shard and four-shard each.
+func TestMegascaleRunFilesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated megascale runs skipped in -short")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		for _, shards := range []int{1, 4} {
+			fileA, resA := recordMegascale(t, seed, 2000, shards)
+			fileB, resB := recordMegascale(t, seed, 2000, shards)
+			if !bytes.Equal(fileA, fileB) {
+				t.Fatalf("seed %d K=%d: run files differ (%d vs %d bytes)",
+					seed, shards, len(fileA), len(fileB))
+			}
+			if resA.Render() != resB.Render() {
+				t.Fatalf("seed %d K=%d: rendered tables differ", seed, shards)
+			}
+			if len(fileA) == 0 {
+				t.Fatalf("seed %d K=%d: empty run file", seed, shards)
+			}
+			// The run file must carry the sharded kernel's gauges and the
+			// barrier-sampled health sources, or 'series' has nothing to plot.
+			for _, want := range []string{"kernel:sharded", "megascale", "megachurn"} {
+				if !bytes.Contains(fileA, []byte(want)) {
+					t.Fatalf("seed %d K=%d: run file lacks %q", seed, shards, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMegascaleSmoke is the CI smoke gate (`make megascale-smoke`): one
+// mid-size sharded run under race, sized by UNAP_MEGASMOKE_PEERS. The
+// default stays small enough for the ordinary test run.
+func TestMegascaleSmoke(t *testing.T) {
+	peers := 6000
+	if v := os.Getenv("UNAP_MEGASMOKE_PEERS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 100 {
+			t.Fatalf("UNAP_MEGASMOKE_PEERS=%q: %v", v, err)
+		}
+		peers = n
+	}
+	file, res := recordMegascale(t, 7, peers, 4)
+	if len(file) == 0 {
+		t.Fatal("empty run file")
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 sweep points, got %d", len(res.Rows))
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last[0] != fmt.Sprint(peers) {
+		t.Fatalf("largest point ran %s peers, want %d", last[0], peers)
+	}
+	if late := last[4]; late != "0" {
+		t.Fatalf("late cross-shard events: %s — window exceeded lookahead", late)
+	}
+	exact, err := strconv.ParseFloat(strings.TrimSuffix(last[6], "%"), 64)
+	if err != nil {
+		t.Fatalf("exact cell %q: %v", last[6], err)
+	}
+	if exact < 80 {
+		t.Fatalf("exact lookup rate %.1f%% < 80%% at %d peers", exact, peers)
+	}
+}

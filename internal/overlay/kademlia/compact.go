@@ -1,0 +1,462 @@
+package kademlia
+
+import (
+	"math/bits"
+	"sort"
+
+	"unap2p/internal/transport"
+	"unap2p/internal/underlay"
+)
+
+// CompactConfig parameterizes a CompactDHT.
+type CompactConfig struct {
+	// K is the bucket width (entries per bucket).
+	K int
+	// Buckets caps the routing-table depth: the top Buckets distance
+	// bands get a bucket each, and any distance below that resolution
+	// collapses into slot 0 (the nearest band). With n peers the nearest
+	// neighbor sits at XOR distance ~2^64/n, so Buckets ≳ log2(n)+4
+	// leaves the collapsed band essentially empty while keeping the flat
+	// array small.
+	Buckets int
+	// Alpha is the lookup parallelism.
+	Alpha int
+	// RPCBytes is the size charged per request or reply message.
+	RPCBytes uint64
+	// Aware, when true, fills spare bucket capacity preferring same-AS
+	// contacts — the paper's proximity neighbor selection applied to the
+	// compact table (lower latency per hop at equal correctness).
+	Aware bool
+}
+
+// DefaultCompactConfig mirrors DefaultConfig at megascale-friendly size.
+func DefaultCompactConfig() CompactConfig {
+	return CompactConfig{K: 8, Buckets: 24, Alpha: 3, RPCBytes: 100}
+}
+
+// CompactDHT is a struct-of-arrays Kademlia over PeerTable peers for
+// sharded megascale runs. Per-peer state is two flat slices — a routing
+// table of n×Buckets×K contact slots and a fill count per bucket — with
+// no per-peer structs, maps, or interior pointers. All lookup logic runs
+// on the origin peer's shard; each hop's request executes on the target
+// peer's shard (where its liveness may be read) and replies through the
+// sharded transport, so the overlay obeys the kernel's shard-ownership
+// rules by construction.
+type CompactDHT struct {
+	cfg CompactConfig
+	net *transport.ShardedNet
+
+	ids    []NodeID // ids[p] is peer p's node id
+	sorted []NodeID // ids ascending, for exact closest-peer ground truth
+	rt     []uint32 // routing table slots, peer p at rt[p*Buckets*K:]
+	cnt    []uint8  // bucket fill counts, peer p at cnt[p*Buckets:]
+
+	// reqClass/repClass are the transport class indices for RPCs.
+	reqClass, repClass int
+
+	// Per-shard lookup counters, owned by each shard.
+	started, done, ok []uint64
+	hops              []uint64
+}
+
+// NewCompact builds a compact DHT over every peer in the net's table.
+// Node ids are a deterministic hash of (seed, peer) — collisions are
+// re-hashed so ids are unique. reqClass and repClass are the transport
+// message classes for request and reply traffic.
+func NewCompact(net *transport.ShardedNet, cfg CompactConfig, seed uint64, reqClass, repClass int) *CompactDHT {
+	n := net.Peers().Len()
+	if cfg.K <= 0 || cfg.Buckets <= 0 || cfg.Alpha <= 0 {
+		panic("kademlia: bad CompactConfig")
+	}
+	d := &CompactDHT{
+		cfg: cfg, net: net,
+		ids:      make([]NodeID, n),
+		rt:       make([]uint32, n*cfg.Buckets*cfg.K),
+		cnt:      make([]uint8, n*cfg.Buckets),
+		reqClass: reqClass, repClass: repClass,
+		started: make([]uint64, net.Kernel().NumShards()),
+		done:    make([]uint64, net.Kernel().NumShards()),
+		ok:      make([]uint64, net.Kernel().NumShards()),
+		hops:    make([]uint64, net.Kernel().NumShards()),
+	}
+	seen := make(map[NodeID]bool, n)
+	for p := 0; p < n; p++ {
+		id := NodeID(mix64(seed ^ uint64(p)*0x9e3779b97f4a7c15))
+		for seen[id] {
+			id = NodeID(mix64(uint64(id)))
+		}
+		seen[id] = true
+		d.ids[p] = id
+	}
+	d.sorted = append(d.sorted, d.ids...)
+	sort.Slice(d.sorted, func(i, j int) bool { return d.sorted[i] < d.sorted[j] })
+	return d
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ID returns peer p's node id.
+func (d *CompactDHT) ID(p underlay.PeerID) NodeID { return d.ids[p] }
+
+// bucketOf maps an XOR distance to a bucket slot: the top cfg.Buckets
+// distance bands in order, with everything nearer collapsed into slot 0.
+func (d *CompactDHT) bucketOf(dist uint64) int {
+	b := 63 - bits.LeadingZeros64(dist) // 0..63, highest set bit
+	if over := 64 - d.cfg.Buckets; b >= over {
+		return b - over
+	}
+	return 0
+}
+
+// Observe records contact q in peer p's routing table. Full buckets keep
+// their existing entries (classic Kademlia's preference for old, stable
+// contacts) — unless Aware is set and q is in p's AS while the bucket
+// holds a cross-AS entry, in which case the farthest-AS entry is
+// replaced: proximity neighbor selection at equal bucket correctness.
+func (d *CompactDHT) Observe(p, q underlay.PeerID) {
+	if p == q {
+		return
+	}
+	dist := Distance(d.ids[p], d.ids[q])
+	b := d.bucketOf(dist)
+	base := (int(p)*d.cfg.Buckets + b) * d.cfg.K
+	c := &d.cnt[int(p)*d.cfg.Buckets+b]
+	for i := 0; i < int(*c); i++ {
+		if d.rt[base+i] == uint32(q) {
+			return
+		}
+	}
+	if int(*c) < d.cfg.K {
+		d.rt[base+int(*c)] = uint32(q)
+		*c++
+		return
+	}
+	if !d.cfg.Aware {
+		return
+	}
+	pt := d.net.Peers()
+	if pt.AS(q) != pt.AS(p) {
+		return
+	}
+	for i := 0; i < d.cfg.K; i++ {
+		if pt.AS(underlay.PeerID(d.rt[base+i])) != pt.AS(p) {
+			d.rt[base+i] = uint32(q)
+			return
+		}
+	}
+}
+
+// Seed populates every peer's table deterministically with contacts at
+// every distance scale: `fanout` pseudo-random peers, the `near`
+// successors AND predecessors on the sorted id ring, and finger links
+// at geometric rank offsets (±1, ±2, ±4, …). The geometry matters at
+// scale. Random contacts alone leave the best candidate ~n/table-size
+// ranks from any target, and a local-only ring cannot bridge that gap,
+// so lookups at 10⁵⁺ peers wander and stall far from the closest id;
+// geometric fingers put a contact in every XOR bucket band, restoring
+// O(log n) convergence. Ring links are bidirectional because the
+// XOR-closest peer is findable only through peers that know it. Call
+// during single-threaded setup.
+func (d *CompactDHT) Seed(seed uint64, fanout, near int) {
+	n := len(d.ids)
+	// idx[i] is the peer whose id is sorted[i].
+	idx := d.peersByID()
+	rank := make([]int, n)
+	for i, p := range idx {
+		rank[p] = i
+	}
+	for p := 0; p < n; p++ {
+		for f := 0; f < fanout; f++ {
+			q := int(mix64(seed^uint64(p)<<20^uint64(f)) % uint64(n))
+			d.Observe(underlay.PeerID(p), underlay.PeerID(q))
+		}
+		for s := 1; s <= near; s++ {
+			d.Observe(underlay.PeerID(p), idx[(rank[p]+s)%n])
+			d.Observe(underlay.PeerID(p), idx[(rank[p]-s+n)%n])
+		}
+		for j := 0; 1<<j < n; j++ {
+			d.Observe(underlay.PeerID(p), idx[(rank[p]+1<<j)%n])
+			d.Observe(underlay.PeerID(p), idx[(rank[p]-1<<j%n+n)%n])
+		}
+	}
+}
+
+// peersByID returns peer ids ordered by ascending node id.
+func (d *CompactDHT) peersByID() []underlay.PeerID {
+	n := len(d.ids)
+	idx := make([]underlay.PeerID, n)
+	for p := 0; p < n; p++ {
+		idx[p] = underlay.PeerID(p)
+	}
+	sort.Slice(idx, func(i, j int) bool { return d.ids[idx[i]] < d.ids[idx[j]] })
+	return idx
+}
+
+// closest gathers up to k contacts from p's table nearest to target,
+// deterministically (scan buckets outward from the target's, stable
+// insertion by XOR distance).
+func (d *CompactDHT) closest(p underlay.PeerID, target NodeID, k int, out []underlay.PeerID) []underlay.PeerID {
+	out = out[:0]
+	self := d.ids[p]
+	start := d.bucketOf(Distance(self, target) | 1)
+	consider := func(b int) {
+		if b < 0 || b >= d.cfg.Buckets {
+			return
+		}
+		base := (int(p)*d.cfg.Buckets + b) * d.cfg.K
+		for i := 0; i < int(d.cnt[int(p)*d.cfg.Buckets+b]); i++ {
+			out = append(out, underlay.PeerID(d.rt[base+i]))
+		}
+	}
+	consider(start)
+	for off := 1; off < d.cfg.Buckets && len(out) < 4*k; off++ {
+		consider(start - off)
+		consider(start + off)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di := Distance(d.ids[out[i]], target)
+		dj := Distance(d.ids[out[j]], target)
+		if di != dj {
+			return di < dj
+		}
+		return out[i] < out[j]
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ClosestGlobal returns the peer id globally XOR-closest to target —
+// exact ground truth, computed by descending the implicit binary trie
+// over the sorted id list: at each bit, follow the branch matching the
+// target's bit if any id lives there, else the other branch. O(64 log n)
+// per query, no per-peer state.
+func (d *CompactDHT) ClosestGlobal(target NodeID) NodeID {
+	s := d.sorted
+	lo, hi := 0, len(s)
+	for bit := 63; bit >= 0 && hi-lo > 1; bit-- {
+		mask := uint64(1) << uint(bit)
+		// Ids in [lo,hi) share all bits above bit; mid splits the
+		// 0-branch [lo,mid) from the 1-branch [mid,hi).
+		mid := lo + sort.Search(hi-lo, func(i int) bool { return uint64(s[lo+i])&mask != 0 })
+		if uint64(target)&mask == 0 {
+			if mid > lo {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		} else {
+			if mid < hi {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	return s[lo]
+}
+
+// CompactResult reports one completed lookup.
+type CompactResult struct {
+	Origin underlay.PeerID
+	Target NodeID
+	// Best is the closest node id found.
+	Best NodeID
+	// Exact reports whether Best is the globally XOR-closest id.
+	Exact bool
+	// Hops is the number of request/reply round trips used.
+	Hops int
+}
+
+// lookupState is one in-flight iterative lookup; it lives on the origin
+// peer's shard and every mutation of it happens there.
+type lookupState struct {
+	d       *CompactDHT
+	origin  underlay.PeerID
+	target  NodeID
+	cand    []underlay.PeerID // candidates sorted by distance
+	queried map[underlay.PeerID]bool
+	inFly   int
+	hops    int
+	done    bool
+	onDone  func(CompactResult)
+}
+
+// Lookup starts an iterative α-parallel lookup for target from peer
+// origin. It must be invoked on origin's owning shard (schedule it
+// there). onDone, which may be nil, runs on origin's shard when the
+// lookup converges.
+func (d *CompactDHT) Lookup(origin underlay.PeerID, target NodeID, onDone func(CompactResult)) {
+	oshard := d.net.ShardOf(origin)
+	d.started[oshard]++
+	st := &lookupState{
+		d: d, origin: origin, target: target,
+		queried: make(map[underlay.PeerID]bool, 3*d.cfg.K),
+		onDone:  onDone,
+	}
+	st.cand = d.closest(origin, target, d.cfg.K, nil)
+	st.step()
+}
+
+// step issues requests to the nearest unqueried candidates, up to Alpha
+// in flight. Runs on the origin's shard.
+func (st *lookupState) step() {
+	if st.done {
+		return
+	}
+	d := st.d
+	issued := false
+	for _, q := range st.cand {
+		if st.inFly >= d.cfg.Alpha {
+			break
+		}
+		if st.queried[q] {
+			continue
+		}
+		st.queried[q] = true
+		st.inFly++
+		st.hops++
+		issued = true
+		st.request(q)
+	}
+	if !issued && st.inFly == 0 {
+		st.finish()
+	}
+}
+
+// request sends one FIND_NODE to peer q: the request executes on q's
+// shard (the only place q's liveness and table may be read) and the
+// reply returns to the origin's shard through the transport.
+func (st *lookupState) request(q underlay.PeerID) {
+	d := st.d
+	origin, target := st.origin, st.target
+	d.net.Send(origin, q, d.reqClass, d.cfg.RPCBytes, func() {
+		// On q's shard now.
+		var found []underlay.PeerID
+		alive := d.net.Peers().Up(q)
+		if alive {
+			found = d.closest(q, target, d.cfg.K, nil)
+		}
+		// Reply (or a zero-byte "timeout" nack after the same RTT when q
+		// is down — a dead peer costs the lookup one round trip).
+		bytes := d.cfg.RPCBytes
+		if !alive {
+			bytes = 0
+		}
+		d.net.Send(q, origin, d.repClass, bytes, func() {
+			// Back on origin's shard.
+			st.inFly--
+			if alive {
+				for _, c := range found {
+					d.Observe(origin, c)
+					st.insert(c)
+				}
+			}
+			st.step()
+		})
+	})
+}
+
+// insert merges candidate c into the sorted working set, keeping the
+// nearest K.
+func (st *lookupState) insert(c underlay.PeerID) {
+	d := st.d
+	dc := Distance(d.ids[c], st.target)
+	for _, e := range st.cand {
+		if e == c {
+			return
+		}
+	}
+	i := sort.Search(len(st.cand), func(i int) bool {
+		de := Distance(d.ids[st.cand[i]], st.target)
+		if de != dc {
+			return de > dc
+		}
+		return st.cand[i] >= c
+	})
+	st.cand = append(st.cand, 0)
+	copy(st.cand[i+1:], st.cand[i:])
+	st.cand[i] = c
+	if len(st.cand) > 3*d.cfg.K {
+		st.cand = st.cand[:3*d.cfg.K]
+	}
+}
+
+// finish completes the lookup on the origin's shard.
+func (st *lookupState) finish() {
+	st.done = true
+	d := st.d
+	oshard := d.net.ShardOf(st.origin)
+	d.done[oshard]++
+	d.hops[oshard] += uint64(st.hops)
+	best := d.ids[st.origin]
+	if len(st.cand) > 0 {
+		best = d.ids[st.cand[0]]
+	}
+	res := CompactResult{
+		Origin: st.origin, Target: st.target, Best: best,
+		Exact: best == d.ClosestGlobal(st.target), Hops: st.hops,
+	}
+	if res.Exact {
+		d.ok[oshard]++
+	}
+	if st.onDone != nil {
+		st.onDone(res)
+	}
+}
+
+// CompactStats aggregates lookup counters across shards. Safe at barriers
+// or after a run.
+type CompactStats struct {
+	Started, Done, Exact uint64
+	Hops                 uint64
+}
+
+// SuccessRate is the fraction of completed lookups that found the exact
+// globally closest id.
+func (s CompactStats) SuccessRate() float64 {
+	if s.Done == 0 {
+		return 0
+	}
+	return float64(s.Exact) / float64(s.Done)
+}
+
+// MeanHops is the average round trips per completed lookup.
+func (s CompactStats) MeanHops() float64 {
+	if s.Done == 0 {
+		return 0
+	}
+	return float64(s.Hops) / float64(s.Done)
+}
+
+// Stats aggregates the per-shard lookup counters.
+func (d *CompactDHT) Stats() CompactStats {
+	var s CompactStats
+	for i := range d.started {
+		s.Started += d.started[i]
+		s.Done += d.done[i]
+		s.Exact += d.ok[i]
+		s.Hops += d.hops[i]
+	}
+	return s
+}
+
+// HealthStats exposes lookup health for telemetry sampling at barriers.
+func (d *CompactDHT) HealthStats() map[string]float64 {
+	s := d.Stats()
+	return map[string]float64{
+		"lookups_started": float64(s.Started),
+		"lookups_done":    float64(s.Done),
+		"success_rate":    s.SuccessRate(),
+		"mean_hops":       s.MeanHops(),
+	}
+}

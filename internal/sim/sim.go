@@ -34,17 +34,24 @@ func (t Time) Seconds() float64 { return float64(t) / 1000 }
 
 func (t Time) String() string { return fmt.Sprintf("%.3fms", float64(t)) }
 
-// Event is a pending callback in the kernel's queue.
+// Event is a pending callback in the kernel's queue. Events are pooled:
+// once fired or cancelled, the struct returns to the kernel's free list
+// and is reused by the next schedule, so the steady-state hot loop
+// allocates nothing. gen counts reuses; an outstanding Timer remembers
+// the generation it was issued for and goes inert when they diverge.
 type event struct {
 	at  Time
 	seq uint64 // tie-break so equal-time events fire in schedule order
 	fn  func()
 	idx int
+	gen uint32
 	// daemon marks housekeeping events (telemetry probe ticks) that must
 	// not keep an unbounded Run alive on their own: when only daemon
 	// events remain and the horizon is Forever, Run returns instead of
 	// ticking forever. See Kernel.AtDaemon.
 	daemon bool
+	// next links the kernel's free list while the event is recycled.
+	next *event
 }
 
 type eventHeap []*event
@@ -90,6 +97,9 @@ type Kernel struct {
 	// daemons counts pending daemon events, so Run can tell when the
 	// queue holds nothing but housekeeping.
 	daemons int
+	// free heads the recycled-event list; its length is bounded by the
+	// queue's high-water mark.
+	free *event
 	// MaxEvents, when non-zero, aborts Run after that many events as a
 	// runaway-simulation backstop.
 	MaxEvents uint64
@@ -132,21 +142,48 @@ func (k *Kernel) Stats() Stats {
 
 // Timer identifies a scheduled event so it can be cancelled.
 type Timer struct {
-	k *Kernel
-	e *event
+	k   *Kernel
+	e   *event
+	gen uint32
 }
 
 // Cancel removes the event if it has not fired yet. It reports whether the
-// event was still pending.
+// event was still pending. Cancelling twice, or after the event fired, is
+// a harmless no-op — even when the pooled event struct has since been
+// reused for a different schedule (the generation check below), so a
+// stale Timer can never cancel someone else's event or underflow the
+// daemons counter.
 func (t Timer) Cancel() bool {
-	if t.e == nil || t.e.idx < 0 {
+	if t.e == nil || t.e.gen != t.gen || t.e.idx < 0 {
 		return false
 	}
 	heap.Remove(&t.k.queue, t.e.idx)
 	if t.e.daemon {
 		t.k.daemons--
 	}
+	t.k.recycle(t.e)
 	return true
+}
+
+// alloc takes an event from the free list, or allocates one.
+func (k *Kernel) alloc() *event {
+	if e := k.free; e != nil {
+		k.free = e.next
+		e.next = nil
+		return e
+	}
+	return &event{}
+}
+
+// recycle retires an event to the free list, bumping its generation so
+// outstanding Timers for it go inert.
+func (k *Kernel) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.idx = -1
+	e.daemon = false
+	e.next = k.free
+	k.free = e
 }
 
 // Schedule runs fn after delay (clamped to >= 0) of simulated time.
@@ -180,7 +217,8 @@ func (k *Kernel) at(t Time, fn func(), daemon bool) Timer {
 	if t < k.now {
 		t = k.now
 	}
-	e := &event{at: t, seq: k.seq, fn: fn, daemon: daemon}
+	e := k.alloc()
+	e.at, e.seq, e.fn, e.daemon = t, k.seq, fn, daemon
 	k.seq++
 	heap.Push(&k.queue, e)
 	if daemon {
@@ -189,7 +227,7 @@ func (k *Kernel) at(t Time, fn func(), daemon bool) Timer {
 	if len(k.queue) > k.maxQueue {
 		k.maxQueue = len(k.queue)
 	}
-	return Timer{k: k, e: e}
+	return Timer{k: k, e: e, gen: e.gen}
 }
 
 // Every schedules fn at now+period, then every period thereafter, until the
@@ -264,7 +302,12 @@ func (k *Kernel) Run(until Time) Time {
 		}
 		k.now = next.at
 		k.processed++
-		next.fn()
+		// Recycle before running: the callback's own schedules may reuse
+		// the struct immediately, and its Timer (if any) must already be
+		// inert.
+		fn := next.fn
+		k.recycle(next)
+		fn()
 		if k.MaxEvents != 0 && k.processed >= k.MaxEvents {
 			break
 		}

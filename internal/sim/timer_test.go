@@ -1,0 +1,125 @@
+package sim
+
+import "testing"
+
+// Satellite regression tests for Timer.Cancel edge cases under event
+// pooling: double-cancel, cancel-after-fire (including after the pooled
+// struct has been reused by a later schedule), and cancelling daemon
+// events without underflowing the daemons counter.
+
+func TestTimerDoubleCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.Schedule(5, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("first Cancel should report pending")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel should be a no-op")
+	}
+	k.Drain()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+// TestTimerCancelAfterReuse is the nasty pooled-event case: the struct
+// behind a fired Timer gets reused by a later schedule; a stale Cancel
+// must not kill the new event.
+func TestTimerCancelAfterReuse(t *testing.T) {
+	k := NewKernel()
+	tm1 := k.Schedule(1, func() {})
+	k.Drain()
+
+	// The free list now holds tm1's struct; this schedule reuses it.
+	fired2 := false
+	tm2 := k.Schedule(1, func() { fired2 = true })
+	if tm2.e != tm1.e {
+		t.Fatal("expected pooled struct reuse (free-list regression)")
+	}
+	if tm1.Cancel() {
+		t.Fatal("stale Cancel claimed to cancel a reused event")
+	}
+	k.Drain()
+	if !fired2 {
+		t.Fatal("stale Cancel killed the reused event")
+	}
+	// And the live handle still works on a fresh pending event.
+	tm3 := k.Schedule(1, func() { t.Fatal("cancelled event fired") })
+	if !tm3.Cancel() {
+		t.Fatal("live Cancel failed")
+	}
+	k.Drain()
+}
+
+// TestTimerCancelZeroValue checks the zero Timer is safely inert.
+func TestTimerCancelZeroValue(t *testing.T) {
+	var tm Timer
+	if tm.Cancel() {
+		t.Fatal("zero Timer Cancel reported success")
+	}
+}
+
+// TestDaemonCancelNoUnderflow cancels daemon events every way at once and
+// checks the daemons counter lands at exactly zero — an underflow would
+// make Run(Forever) spin on daemon ticks forever.
+func TestDaemonCancelNoUnderflow(t *testing.T) {
+	k := NewKernel()
+	d1 := k.AtDaemon(5, func() {})
+	d2 := k.AtDaemon(6, func() {})
+	if k.daemons != 2 {
+		t.Fatalf("daemons = %d, want 2", k.daemons)
+	}
+	if !d1.Cancel() {
+		t.Fatal("cancel pending daemon failed")
+	}
+	if d1.Cancel() {
+		t.Fatal("double-cancel daemon succeeded")
+	}
+	if k.daemons != 1 {
+		t.Fatalf("daemons = %d after cancel, want 1", k.daemons)
+	}
+	// Fire d2 by running with a real event alongside, then stale-cancel it.
+	k.Schedule(10, func() {})
+	k.Drain()
+	if k.daemons != 0 {
+		t.Fatalf("daemons = %d after drain, want 0", k.daemons)
+	}
+	if d2.Cancel() {
+		t.Fatal("cancel after daemon fired succeeded")
+	}
+	if k.daemons != 0 {
+		t.Fatalf("daemons = %d underflowed via stale cancel", k.daemons)
+	}
+	// Reuse the pooled structs as non-daemon events; stale daemon Timers
+	// must not decrement.
+	k.Schedule(1, func() {})
+	k.Schedule(1, func() {})
+	d1.Cancel()
+	d2.Cancel()
+	if k.daemons != 0 {
+		t.Fatalf("daemons = %d after stale cancels on reused structs, want 0", k.daemons)
+	}
+	k.Drain()
+}
+
+// TestRunForeverTerminatesAfterDaemonCancel checks Run(Forever) still
+// stops once only daemons remain, across cancels and re-arms.
+func TestRunForeverTerminatesAfterDaemonCancel(t *testing.T) {
+	k := NewKernel()
+	ticks := 0
+	cancel := k.EveryDaemon(10, func() { ticks++ })
+	k.Schedule(35, func() {})
+	end := k.Run(Forever)
+	if end != 35 {
+		t.Fatalf("ended at %v, want 35", end)
+	}
+	if ticks != 3 {
+		t.Fatalf("daemon ticked %d times, want 3", ticks)
+	}
+	cancel()
+	k.Schedule(5, func() {})
+	if end := k.Run(Forever); end != 40 {
+		t.Fatalf("second run ended at %v, want 40", end)
+	}
+}

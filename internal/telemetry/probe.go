@@ -150,6 +150,7 @@ type Probe struct {
 	mu      sync.Mutex
 	seq     uint64
 	kernels []*sim.Kernel
+	sharded []*sim.ShardedKernel
 	cancels []func()
 	health  []healthSource
 	counts  map[string]int
@@ -216,6 +217,26 @@ func (p *Probe) ObserveKernel(k *sim.Kernel) {
 	p.mu.Unlock()
 }
 
+// ObserveShardedKernel delegates to the recorder and includes the
+// kernel's time in sample stamps. Unlike ObserveKernel it installs no
+// sampling tick of its own: in a sharded run, sampling is only safe at
+// epoch barriers, so the experiment wires the kernel's OnBarrier hook to
+// Sample (usually with a stride).
+func (p *Probe) ObserveShardedKernel(sk *sim.ShardedKernel) {
+	if sk == nil {
+		return
+	}
+	p.rec.ObserveShardedKernel(sk)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, have := range p.sharded {
+		if have == sk {
+			return
+		}
+	}
+	p.sharded = append(p.sharded, sk)
+}
+
 // ObserveChurn delegates to the recorder and samples the driver's live
 // population as health:churn:online.
 func (p *Probe) ObserveChurn(d *churn.Driver) {
@@ -272,6 +293,11 @@ func (p *Probe) Sample() {
 	var at sim.Time
 	for _, k := range p.kernels {
 		if now := k.Now(); now > at {
+			at = now
+		}
+	}
+	for _, sk := range p.sharded {
+		if now := sk.Now(); now > at {
 			at = now
 		}
 	}

@@ -55,6 +55,7 @@ type Recorder struct {
 
 	transports []*transport.Transport
 	kernels    []*sim.Kernel
+	sharded    []*sim.ShardedKernel
 	churns     []*churn.Driver
 	mobilities []*mobility.Model
 	stages     []*transportStage
@@ -269,6 +270,24 @@ func (r *Recorder) ObserveKernel(k *sim.Kernel) {
 	r.kernels = append(r.kernels, k)
 }
 
+// ObserveShardedKernel includes a sharded kernel's run statistics in the
+// closing summary: aggregate epoch/cross-shard counters plus per-shard
+// processed / max-queue / cross-bytes gauges, so run files and /metrics
+// show shard balance.
+func (r *Recorder) ObserveShardedKernel(sk *sim.ShardedKernel) {
+	if sk == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, have := range r.sharded {
+		if have == sk {
+			return
+		}
+	}
+	r.sharded = append(r.sharded, sk)
+}
+
 // ObserveChurn attaches to a churn driver: every join/leave becomes a
 // CatChurn event and the final join/leave totals enter the summary.
 func (r *Recorder) ObserveChurn(d *churn.Driver) {
@@ -334,6 +353,7 @@ func (r *Recorder) Snapshot() MetricsSnapshot {
 	r.mu.Lock()
 	transports := append([]*transport.Transport(nil), r.transports...)
 	kernels := append([]*sim.Kernel(nil), r.kernels...)
+	sharded := append([]*sim.ShardedKernel(nil), r.sharded...)
 	churns := append([]*churn.Driver(nil), r.churns...)
 	mobilities := append([]*mobility.Model(nil), r.mobilities...)
 	r.mu.Unlock()
@@ -361,6 +381,22 @@ func (r *Recorder) Snapshot() MetricsSnapshot {
 		s.Counters[p+":processed"] = st.Processed
 		s.Gauges[p+":max_queue"] = float64(st.MaxQueue)
 		s.Gauges[p+":now_ms"] = float64(st.Now)
+	}
+	for i, sk := range sharded {
+		p := prefixed("kernel:sharded", i)
+		st := sk.Stats()
+		s.Counters[p+":processed"] = st.Processed
+		s.Counters[p+":epochs"] = st.Epochs
+		s.Counters[p+":cross_events"] = st.CrossEvents
+		s.Counters[p+":cross_batches"] = st.CrossBatches
+		s.Counters[p+":late_events"] = st.LateEvents
+		s.Gauges[p+":now_ms"] = float64(st.Now)
+		for _, sh := range st.Shards {
+			pp := fmt.Sprintf("%s:shard%d", p, sh.Shard)
+			s.Counters[pp+":processed"] = sh.Processed
+			s.Counters[pp+":cross_bytes"] = sh.CrossBytes
+			s.Gauges[pp+":max_queue"] = float64(sh.MaxQueue)
+		}
 	}
 	for i, d := range churns {
 		p := prefixed("churn", i)
@@ -391,6 +427,11 @@ func (r *Recorder) Close() error {
 	var finished sim.Time
 	for _, k := range r.kernels {
 		if now := k.Now(); now > finished {
+			finished = now
+		}
+	}
+	for _, sk := range r.sharded {
+		if now := sk.Now(); now > finished {
 			finished = now
 		}
 	}

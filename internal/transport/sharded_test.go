@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"testing"
+
+	"unap2p/internal/sim"
+	"unap2p/internal/underlay"
+)
+
+// buildShardedNet builds a 1-transit/3-stub underlay with p peers per
+// stub AS, partitioned over K shards.
+func buildShardedNet(t *testing.T, perAS, K int) *ShardedNet {
+	t.Helper()
+	u := underlay.New()
+	transit := u.AddAS(underlay.TransitISP, 2)
+	for i := 0; i < 3; i++ {
+		stub := u.AddAS(underlay.LocalISP, 4)
+		u.ConnectTransit(stub, transit, 12)
+	}
+	u.ComputeRoutes()
+	pt := underlay.NewPeerTable(u, 3*perAS)
+	for as := 1; as <= 3; as++ {
+		for j := 0; j < perAS; j++ {
+			pt.AddPeer(as, sim.Duration(3+j%5))
+		}
+	}
+	part := underlay.PartitionASes(u.NumASes(),
+		func(as int) int { return pt.PeersPerAS()[int32(as)] }, K)
+	window := underlay.MinCrossShardLatency(pt, part)
+	if window <= 0 {
+		window = 1
+	}
+	sk := sim.NewSharded(K, window)
+	return NewShardedNet(u, pt, part, sk, []string{"req", "rep"})
+}
+
+func TestShardedNetAccounting(t *testing.T) {
+	n := buildShardedNet(t, 4, 2)
+	pt := n.Peers()
+	// One intra-AS send, one cross-AS (and with K=2, cross-shard) send.
+	var delivered [2]int
+	deliver := func(to underlay.PeerID) func() {
+		s := n.ShardOf(to)
+		return func() { delivered[s]++ }
+	}
+	lat1 := n.Send(0, 1, 0, 100, deliver(1)) // same AS (both in AS1)
+	if pt.AS(0) != pt.AS(1) {
+		t.Fatal("peers 0,1 should share an AS")
+	}
+	var far underlay.PeerID
+	for p := 0; p < pt.Len(); p++ {
+		if n.ShardOf(underlay.PeerID(p)) != n.ShardOf(0) {
+			far = underlay.PeerID(p)
+			break
+		}
+	}
+	lat2 := n.Send(0, far, 1, 200, deliver(far))
+	if lat1 != pt.Latency(0, 1) || lat2 != pt.Latency(0, far) {
+		t.Fatal("Send latency mismatch")
+	}
+	n.Kernel().Drain()
+	if delivered[0]+delivered[1] != 2 {
+		t.Fatalf("delivered %v, want 2 total", delivered)
+	}
+	st := n.Stats()
+	if st.Msgs != 2 || st.Bytes != 300 {
+		t.Fatalf("totals %+v", st)
+	}
+	if st.PerClass[0].Msgs != 1 || st.PerClass[0].IntraASBytes != 100 ||
+		st.PerClass[1].Msgs != 1 || st.PerClass[1].IntraASBytes != 0 {
+		t.Fatalf("per-class %+v", st.PerClass)
+	}
+	if st.CrossMsgs != 1 || st.CrossBytes != 200 {
+		t.Fatalf("cross counters %+v", st)
+	}
+	if f := st.IntraFraction(); f != 100.0/300.0 {
+		t.Fatalf("IntraFraction = %v", f)
+	}
+	hs := n.HealthStats()
+	if hs["msgs"] != 2 || hs["cross_bytes"] != 200 {
+		t.Fatalf("health stats %v", hs)
+	}
+}
+
+// TestShardedNetDeliveryTimesKIndependent pins that a fixed message
+// workload delivers at identical simulated times for K=1 and K=2.
+func TestShardedNetDeliveryTimesKIndependent(t *testing.T) {
+	run := func(K int) map[underlay.PeerID][]sim.Time {
+		n := buildShardedNet(t, 4, K)
+		pt := n.Peers()
+		// Deterministic per-destination logs: each written only by the
+		// destination's owning shard.
+		logs := make([]([]sim.Time), pt.Len())
+		var ping func(from, to underlay.PeerID, hops int) func()
+		ping = func(from, to underlay.PeerID, hops int) func() {
+			return func() {
+				s := n.Kernel().Shard(n.ShardOf(to))
+				logs[to] = append(logs[to], s.Now())
+				if hops > 0 {
+					next := underlay.PeerID((int(to) + 5) % pt.Len())
+					n.Send(to, next, 0, 64, ping(to, next, hops-1))
+				}
+			}
+		}
+		for p := 0; p < pt.Len(); p++ {
+			from := underlay.PeerID(p)
+			to := underlay.PeerID((p + 7) % pt.Len())
+			n.Kernel().Shard(n.ShardOf(from)).At(sim.Duration(p)/8, func() {
+				n.Send(from, to, 0, 64, ping(from, to, 3))
+			})
+		}
+		n.Kernel().Drain()
+		out := make(map[underlay.PeerID][]sim.Time)
+		for p, l := range logs {
+			if len(l) > 0 {
+				out[underlay.PeerID(p)] = l
+			}
+		}
+		return out
+	}
+	l1, l2 := run(1), run(2)
+	if len(l1) == 0 {
+		t.Fatal("no deliveries")
+	}
+	if len(l1) != len(l2) {
+		t.Fatalf("peer coverage differs: %d vs %d", len(l1), len(l2))
+	}
+	for p, a := range l1 {
+		b := l2[p]
+		if len(a) != len(b) {
+			t.Fatalf("peer %d: %d vs %d deliveries", p, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("peer %d delivery %d: %v vs %v", p, i, a[i], b[i])
+			}
+		}
+	}
+}

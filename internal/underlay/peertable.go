@@ -1,0 +1,211 @@
+package underlay
+
+import (
+	"fmt"
+	"sort"
+
+	"unap2p/internal/sim"
+)
+
+// PeerID indexes a peer in a PeerTable. IDs are dense and assigned in
+// AddPeer order, so they double as row indices into the table's parallel
+// slices.
+type PeerID uint32
+
+// PeerTable is compact struct-of-arrays peer state for megascale runs:
+// one row per peer, each attribute a parallel slice indexed by PeerID.
+// It replaces per-peer *Host pointer structs on the hot path — a million
+// peers fit in a handful of flat allocations with no pointer chasing and
+// nothing for the garbage collector to trace.
+//
+// Sharded runs partition peers by AS (see PartitionASes); every mutable
+// cell (liveness) is then owned by exactly one shard, and cells are
+// byte-addressed (up is []bool, not a bitset) so neighbouring peers on
+// different shards never share a word.
+type PeerTable struct {
+	asID   []int32        // owning AS, dense AS id
+	access []float32      // last-mile one-way delay, ms
+	up     []bool         // liveness; flipped by churn on the owning shard
+	asOf   map[int32]int  // peers per AS, for partition weights
+	net    *Network       // topology the peers attach to
+	delay  []sim.Duration // cached per-AS intra-AS delay, indexed by AS id
+}
+
+// NewPeerTable returns an empty table over the given network with
+// capacity for n peers. The network's routes must be computed
+// (Network.ComputeRoutes) before the table is used from concurrent
+// shards: route computation is lazy and must not first trigger inside a
+// shard callback.
+func NewPeerTable(n *Network, capacity int) *PeerTable {
+	pt := &PeerTable{
+		asID:   make([]int32, 0, capacity),
+		access: make([]float32, 0, capacity),
+		up:     make([]bool, 0, capacity),
+		asOf:   make(map[int32]int),
+		net:    n,
+	}
+	pt.delay = make([]sim.Duration, n.NumASes())
+	for i, a := range n.ASes() {
+		pt.delay[i] = a.IntraDelay
+	}
+	return pt
+}
+
+// AddPeer appends a peer in AS as with the given access delay, online.
+func (pt *PeerTable) AddPeer(as int, access sim.Duration) PeerID {
+	id := PeerID(len(pt.asID))
+	pt.asID = append(pt.asID, int32(as))
+	pt.access = append(pt.access, float32(access))
+	pt.up = append(pt.up, true)
+	pt.asOf[int32(as)]++
+	return id
+}
+
+// Len reports the number of peers.
+func (pt *PeerTable) Len() int { return len(pt.asID) }
+
+// AS returns the peer's AS id.
+func (pt *PeerTable) AS(p PeerID) int { return int(pt.asID[p]) }
+
+// Access returns the peer's last-mile one-way delay.
+func (pt *PeerTable) Access(p PeerID) sim.Duration { return sim.Duration(pt.access[p]) }
+
+// Up reports whether the peer is online. During a sharded run this must
+// only be read from the peer's owning shard (churn writes it there).
+func (pt *PeerTable) Up(p PeerID) bool { return pt.up[p] }
+
+// SetUp flips the peer's liveness; shard-owned during sharded runs.
+func (pt *PeerTable) SetUp(p PeerID, up bool) { pt.up[p] = up }
+
+// UpCount counts online peers. Only safe at barriers or after a run.
+func (pt *PeerTable) UpCount() int {
+	n := 0
+	for _, u := range pt.up {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+// PeersPerAS returns the per-AS peer counts used as partition weights.
+func (pt *PeerTable) PeersPerAS() map[int32]int { return pt.asOf }
+
+// Latency returns the one-way delay between two peers using the same
+// formula as Network.Latency, O(1) from the table's flat rows plus the
+// precomputed AS route table.
+func (pt *PeerTable) Latency(a, b PeerID) sim.Duration {
+	if a == b {
+		return 0
+	}
+	base := sim.Duration(pt.access[a]) + sim.Duration(pt.access[b])
+	sa, sb := pt.asID[a], pt.asID[b]
+	if sa == sb {
+		return base + pt.delay[sa]
+	}
+	d := pt.net.ASDelay(int(sa), int(sb))
+	if d < 0 {
+		panic(fmt.Sprintf("underlay: peer %d (AS%d) cannot reach peer %d (AS%d)", a, sa, b, sb))
+	}
+	return base + pt.delay[sa]/2 + d + pt.delay[sb]/2
+}
+
+// Partition maps each AS (dense id index) to a shard.
+type Partition struct {
+	shardOfAS []int32
+	shards    int
+}
+
+// NumShards reports the shard count.
+func (p *Partition) NumShards() int { return p.shards }
+
+// ShardOfAS returns the shard owning AS as.
+func (p *Partition) ShardOfAS(as int) int { return int(p.shardOfAS[as]) }
+
+// ShardOf returns the shard owning peer id.
+func (p *Partition) ShardOf(pt *PeerTable, id PeerID) int {
+	return int(p.shardOfAS[pt.asID[id]])
+}
+
+// PartitionASes assigns ASes to shards by greedy longest-processing-time
+// bin packing on the given per-AS weights (peer counts): heaviest AS
+// first into the lightest shard, ties broken by AS id then shard id, so
+// the result is deterministic. Peers of one AS always share a shard —
+// the partition boundary is the AS boundary, which is also where
+// cross-peer latency has its AS-delay floor (the sharded kernel's
+// lookahead).
+func PartitionASes(numASes int, weight func(as int) int, shards int) *Partition {
+	if shards < 1 {
+		panic("underlay: PartitionASes needs ≥ 1 shard")
+	}
+	p := &Partition{shardOfAS: make([]int32, numASes), shards: shards}
+	if shards == 1 {
+		return p
+	}
+	order := make([]int, numASes)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := weight(order[i]), weight(order[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	load := make([]int, shards)
+	for _, as := range order {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		p.shardOfAS[as] = int32(best)
+		load[best] += weight(as)
+	}
+	return p
+}
+
+// MinCrossShardLatency returns the smallest one-way peer-to-peer latency
+// that can cross a shard boundary under the partition — the conservative
+// lookahead bound for the sharded kernel's epoch window. It scans AS
+// pairs in different shards and combines the routed AS delay with each
+// side's halved intra-AS delay and the smallest access delay of any peer
+// in that AS. Returns 0 if the table is empty or no pair crosses shards
+// (K=1); callers should treat 0 as "pick any window".
+func MinCrossShardLatency(pt *PeerTable, p *Partition) sim.Duration {
+	nAS := pt.net.NumASes()
+	// Cheapest access link per AS; ASes without peers never source events.
+	minAccess := make([]sim.Duration, nAS)
+	seen := make([]bool, nAS)
+	for i, as := range pt.asID {
+		a := sim.Duration(pt.access[i])
+		if !seen[as] || a < minAccess[as] {
+			minAccess[as], seen[as] = a, true
+		}
+	}
+	best := sim.Duration(-1)
+	for a := 0; a < nAS; a++ {
+		if !seen[a] {
+			continue
+		}
+		for b := 0; b < nAS; b++ {
+			if !seen[b] || p.shardOfAS[a] == p.shardOfAS[b] {
+				continue
+			}
+			d := pt.net.ASDelay(a, b)
+			if d < 0 {
+				continue
+			}
+			lat := minAccess[a] + minAccess[b] + pt.delay[a]/2 + d + pt.delay[b]/2
+			if best < 0 || lat < best {
+				best = lat
+			}
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,117 @@
+package underlay
+
+import (
+	"testing"
+
+	"unap2p/internal/sim"
+)
+
+// buildStar returns a small transit+stubs topology: one transit AS
+// peering nothing, three stubs buying transit from it.
+func buildStar(t *testing.T) *Network {
+	t.Helper()
+	n := New()
+	transit := n.AddAS(TransitISP, 2)
+	for i := 0; i < 3; i++ {
+		stub := n.AddAS(LocalISP, 4)
+		n.ConnectTransit(stub, transit, sim.Duration(10+i))
+	}
+	n.ComputeRoutes()
+	return n
+}
+
+func TestPeerTableLatencyMatchesHosts(t *testing.T) {
+	n := buildStar(t)
+	pt := NewPeerTable(n, 8)
+	var hosts []*Host
+	var peers []PeerID
+	for i, as := range []int{1, 1, 2, 3} {
+		acc := sim.Duration(5 + i)
+		hosts = append(hosts, n.AddHost(n.AS(as), acc))
+		peers = append(peers, pt.AddPeer(as, acc))
+	}
+	for i := range peers {
+		for j := range peers {
+			got := pt.Latency(peers[i], peers[j])
+			want := n.Latency(hosts[i], hosts[j])
+			if i == j {
+				want = 0
+			}
+			if got != want {
+				t.Fatalf("Latency(%d,%d) = %v, host formula %v", i, j, got, want)
+			}
+		}
+	}
+	if pt.Len() != 4 || pt.AS(peers[2]) != 2 || pt.Access(peers[3]) != 8 {
+		t.Fatal("accessor mismatch")
+	}
+	if !pt.Up(peers[0]) {
+		t.Fatal("new peer should be up")
+	}
+	pt.SetUp(peers[0], false)
+	if pt.Up(peers[0]) || pt.UpCount() != 3 {
+		t.Fatal("SetUp/UpCount mismatch")
+	}
+}
+
+func TestPartitionASesBalanced(t *testing.T) {
+	weights := []int{100, 1, 1, 1, 97, 1, 1, 1}
+	part := PartitionASes(len(weights), func(as int) int { return weights[as] }, 2)
+	load := [2]int{}
+	for as, w := range weights {
+		load[part.ShardOfAS(as)] += w
+	}
+	// LPT puts the two heavy ASes on different shards.
+	if part.ShardOfAS(0) == part.ShardOfAS(4) {
+		t.Fatalf("heavy ASes share shard: loads %v", load)
+	}
+	if diff := load[0] - load[1]; diff < -10 || diff > 10 {
+		t.Fatalf("unbalanced: %v", load)
+	}
+	// Deterministic: same inputs, same mapping.
+	again := PartitionASes(len(weights), func(as int) int { return weights[as] }, 2)
+	for as := range weights {
+		if part.ShardOfAS(as) != again.ShardOfAS(as) {
+			t.Fatal("partition not deterministic")
+		}
+	}
+	// K=1 trivially maps everything to shard 0.
+	one := PartitionASes(len(weights), func(as int) int { return weights[as] }, 1)
+	for as := range weights {
+		if one.ShardOfAS(as) != 0 {
+			t.Fatal("K=1 partition not all-zero")
+		}
+	}
+}
+
+func TestMinCrossShardLatency(t *testing.T) {
+	n := buildStar(t)
+	pt := NewPeerTable(n, 8)
+	// Stub ASes 1..3 get peers; transit AS 0 has none.
+	pt.AddPeer(1, 5)
+	pt.AddPeer(1, 3) // cheapest access in AS1
+	pt.AddPeer(2, 7)
+	pt.AddPeer(3, 9)
+	part := PartitionASes(n.NumASes(), func(as int) int { return pt.PeersPerAS()[int32(as)] }, 2)
+
+	got := MinCrossShardLatency(pt, part)
+	if got <= 0 {
+		t.Fatalf("MinCrossShardLatency = %v, want > 0", got)
+	}
+	// Brute force over peer pairs must never beat the bound.
+	for a := 0; a < pt.Len(); a++ {
+		for b := 0; b < pt.Len(); b++ {
+			pa, pb := PeerID(a), PeerID(b)
+			if pa == pb || part.ShardOf(pt, pa) == part.ShardOf(pt, pb) {
+				continue
+			}
+			if lat := pt.Latency(pa, pb); lat < got {
+				t.Fatalf("pair (%d,%d) latency %v below bound %v", a, b, lat, got)
+			}
+		}
+	}
+	// Single shard: no crossing pairs, bound degenerates to 0.
+	if one := MinCrossShardLatency(pt, PartitionASes(n.NumASes(), func(int) int { return 1 }, 1)); one != 0 {
+		t.Fatalf("K=1 bound = %v, want 0", one)
+	}
+}
