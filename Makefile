@@ -4,17 +4,17 @@ GO ?= go
 # for publication-quality numbers.
 BENCHTIME ?= 100ms
 
-.PHONY: ci vet build test race bench bench-json cover series-demo chaos fuzz-smoke megascale-smoke
+.PHONY: ci vet build test race bench bench-json perf-gate cover series-demo chaos fuzz-smoke megascale-smoke
 
 # ci is the full verification gate: static analysis, a clean build of
 # every package, the test suite under the race detector, the chaos
-# suite, a fuzz smoke of the schedule parser, an end-to-end smoke of
-# the probe plane (record → sample → series), and a mid-size sharded-
-# kernel run under race. Benchmarks and the coverage summary run
-# afterwards as non-fatal reporting steps (a perf regression or
-# coverage dip is visible but does not gate).
-ci: vet build race chaos fuzz-smoke series-demo megascale-smoke
-	-$(MAKE) bench
+# suite, fuzz smokes of the schedule parser and the XOR ground-truth
+# trie, an end-to-end smoke of the probe plane (record → sample →
+# series), a mid-size sharded-kernel run of all three compact overlays
+# under race, and the perf gate (fails on >15% ns/op or allocs/op
+# regression against the baseline snapshot). The coverage summary runs
+# afterwards as a non-fatal reporting step.
+ci: vet build race chaos fuzz-smoke series-demo megascale-smoke perf-gate
 	-$(MAKE) cover
 
 vet:
@@ -37,10 +37,21 @@ bench:
 # bench-json snapshots the benchmark suite into a stable JSON artifact
 # so later PRs can diff ns/op against this one. -count=6 gives the
 # averaging in bench-import something to chew on.
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR7.json
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCHTIME) -benchmem -count=6 ./... \
 		| $(GO) run ./cmd/unapctl bench-import -o $(BENCH_JSON)
+
+# perf-gate is the CI benchmark regression gate: re-measure the suite,
+# snapshot it (BENCH_JSON), and fail if any benchmark present in both
+# the baseline and the fresh snapshot regressed ns/op or allocs/op by
+# more than PERF_THRESHOLD. Benchmarks that exist on only one side are
+# reported but never gate.
+BENCH_BASELINE ?= BENCH_PR6.json
+PERF_THRESHOLD ?= 0.15
+perf-gate:
+	$(MAKE) bench-json
+	$(GO) run ./cmd/unapctl bench-diff -threshold $(PERF_THRESHOLD) $(BENCH_BASELINE) $(BENCH_JSON)
 
 # cover writes a merged coverage profile and prints the total statement
 # coverage.
@@ -56,17 +67,21 @@ cover:
 chaos:
 	$(GO) test -race -run 'TestChaos' -v ./internal/integration/
 
-# fuzz-smoke gives the chaos schedule parser a short fuzzing budget —
-# enough to catch parser/round-trip regressions in CI without the open
-# -ended runtime of a real fuzzing campaign.
+# fuzz-smoke gives the fuzz targets a short budget each — enough to
+# catch regressions in CI without the open-ended runtime of a real
+# fuzzing campaign: the chaos schedule parser, and the binary-trie XOR
+# ground truth every megascale exactness figure rests on (cross-checked
+# against a naive scan).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSchedule -fuzztime=10s ./internal/chaos/
+	$(GO) test -run='^$$' -fuzz=FuzzClosestGlobal -fuzztime=10s ./internal/megascale/
 
 # megascale-smoke runs the sharded kernel at CI-sized scale — ~50k
-# peers over 4 shards with churn, under the race detector. Catches
+# peers with churn, all three compact overlays (kademlia, chord,
+# gnutella) at K=1 and K=4, under the race detector. Catches
 # shard-ownership violations that the small unit tests are too sparse
 # to provoke. MEGASMOKE_PEERS scales it up (the full 1M-peer study is
-# `unapctl record -exp exp-megascale -param peers=1000000`).
+# `unapctl record -exp exp-megascale -param peers=1000000 -param overlay=all`).
 MEGASMOKE_PEERS ?= 50000
 megascale-smoke:
 	UNAP_MEGASMOKE_PEERS=$(MEGASMOKE_PEERS) \

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name string, doc string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBenchDiffGate(t *testing.T) {
+	base := writeBench(t, "base.json", `{"benchmarks":{
+		"BenchmarkA":{"ns_op":100,"allocs_op":10,"runs":6},
+		"BenchmarkB":{"ns_op":200,"allocs_op":0,"runs":6},
+		"BenchmarkGone":{"ns_op":50,"runs":6}}}`)
+
+	// Within threshold: no regressions.
+	ok := writeBench(t, "ok.json", `{"benchmarks":{
+		"BenchmarkA":{"ns_op":110,"allocs_op":10,"runs":6},
+		"BenchmarkB":{"ns_op":190,"allocs_op":0,"runs":6},
+		"BenchmarkNew":{"ns_op":1,"runs":6}}}`)
+	n, err := cmdBenchDiff([]string{base, ok})
+	if err != nil || n != 0 {
+		t.Fatalf("clean diff: %d regressions, err %v", n, err)
+	}
+
+	// ns/op blowout on A, new allocations on the zero-alloc B.
+	bad := writeBench(t, "bad.json", `{"benchmarks":{
+		"BenchmarkA":{"ns_op":150,"allocs_op":10,"runs":6},
+		"BenchmarkB":{"ns_op":200,"allocs_op":2,"runs":6}}}`)
+	n, err = cmdBenchDiff([]string{base, bad})
+	if err != nil {
+		t.Fatalf("bad diff err: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("want 2 regressions (A ns/op, B allocs/op), got %d", n)
+	}
+
+	// A large improvement is reported but does not gate.
+	fast := writeBench(t, "fast.json", `{"benchmarks":{
+		"BenchmarkA":{"ns_op":50,"allocs_op":10,"runs":6},
+		"BenchmarkB":{"ns_op":200,"allocs_op":0,"runs":6}}}`)
+	n, err = cmdBenchDiff([]string{base, fast})
+	if err != nil || n != 0 {
+		t.Fatalf("improvement gated: %d regressions, err %v", n, err)
+	}
+
+	// Threshold is adjustable.
+	n, err = cmdBenchDiff([]string{"-threshold", "0.02", base, ok})
+	if err != nil || n == 0 {
+		t.Fatalf("tight threshold should flag the 10%% drift, got %d (err %v)", n, err)
+	}
+
+	if _, err := cmdBenchDiff([]string{base}); err == nil ||
+		!strings.Contains(err.Error(), "want") {
+		t.Fatalf("arity error not reported: %v", err)
+	}
+
+	// When both snapshots carry min_ns_op, the gate compares mins: a
+	// noisy mean (+50%) with a stable min must not gate, and vice versa.
+	minBase := writeBench(t, "minbase.json", `{"benchmarks":{
+		"BenchmarkA":{"ns_op":100,"min_ns_op":90,"runs":6}}}`)
+	noisyMean := writeBench(t, "noisymean.json", `{"benchmarks":{
+		"BenchmarkA":{"ns_op":150,"min_ns_op":92,"runs":6}}}`)
+	n, err = cmdBenchDiff([]string{minBase, noisyMean})
+	if err != nil || n != 0 {
+		t.Fatalf("noisy mean with stable min gated: %d regressions, err %v", n, err)
+	}
+	slowMin := writeBench(t, "slowmin.json", `{"benchmarks":{
+		"BenchmarkA":{"ns_op":101,"min_ns_op":120,"runs":6}}}`)
+	n, err = cmdBenchDiff([]string{minBase, slowMin})
+	if err != nil || n != 1 {
+		t.Fatalf("regressed min with flat mean not gated: %d regressions, err %v", n, err)
+	}
+}
+
+func TestBenchImportMinNs(t *testing.T) {
+	res, err := parseBench(strings.NewReader(`
+BenchmarkX-8   1000   120.0 ns/op   16 B/op   1 allocs/op
+BenchmarkX-8   1000   90.0 ns/op   16 B/op   1 allocs/op
+BenchmarkX-8   1000   150.0 ns/op   16 B/op   1 allocs/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, ok := res["BenchmarkX"]
+	if !ok {
+		t.Fatal("BenchmarkX not parsed")
+	}
+	if x.NsOp != 120 || x.MinNsOp != 90 || x.Runs != 3 {
+		t.Fatalf("want mean 120 / min 90 / 3 runs, got %+v", x)
+	}
+}

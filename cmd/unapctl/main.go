@@ -9,6 +9,7 @@
 //	unapctl diff [-threshold 0.02] <a.jsonl> <b.jsonl>
 //	unapctl series [-metric glob] [-csv] <run.jsonl>
 //	unapctl bench-import [-o BENCH.json]        (go test -bench output on stdin)
+//	unapctl bench-diff [-threshold 0.15] <baseline.json> <current.json>
 //
 // Exit codes: 0 success (for diff: no delta beyond threshold), 1 diff
 // found deltas beyond the threshold or a run failed, 2 usage error.
@@ -47,6 +48,12 @@ func main() {
 		err = cmdSeries(os.Args[2:])
 	case "bench-import":
 		err = cmdBenchImport(os.Args[2:])
+	case "bench-diff":
+		var regressions int
+		regressions, err = cmdBenchDiff(os.Args[2:])
+		if err == nil && regressions > 0 {
+			os.Exit(1)
+		}
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -86,6 +93,10 @@ func usage() {
   unapctl bench-import [-o BENCH.json]
       parse 'go test -bench -benchmem' output from stdin into JSON
       (name -> ns/op, B/op, allocs/op) for cross-PR perf diffing
+
+  unapctl bench-diff [-threshold 0.15] <baseline.json> <current.json>
+      compare two bench-import snapshots; exits 1 if any benchmark
+      present in both regressed ns/op or allocs/op beyond the threshold
 `)
 }
 

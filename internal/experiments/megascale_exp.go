@@ -1,11 +1,14 @@
-// exp-megascale: the sharded-kernel scaling study. A compact Kademlia
-// DHT over struct-of-arrays peer state runs lookups under churn at a
-// sweep of population sizes on a K-shard lock-step kernel, reporting a
-// peers-vs-wall-clock/RSS scaling curve. This is the experiment that
-// demonstrates the megascale headroom ROADMAP items 2–5 build on —
-// D-P2P-Sim+ (PAPERS.md) exists because single-threaded P2P simulators
-// cap out near testlab scale; the sharded kernel removes that cap while
-// keeping runs byte-identical per (seed, shard count).
+// exp-megascale: the sharded-kernel scaling study. A compact overlay —
+// Kademlia, Chord, or Gnutella, all ports of the megascale.CompactOverlay
+// contract — runs its workload under churn at a sweep of population
+// sizes on a K-shard lock-step kernel, reporting a peers-vs-wall-clock/
+// RSS scaling curve. This is the experiment that demonstrates the
+// megascale headroom ROADMAP items 2–5 build on — D-P2P-Sim+ (PAPERS.md)
+// exists because single-threaded P2P simulators cap out near testlab
+// scale; the sharded kernel removes that cap while keeping runs
+// byte-identical per (seed, shard count, overlay). Sweeping
+// -param overlay=all turns it into the structured-vs-unstructured
+// comparison under identical underlay and churn.
 package experiments
 
 import (
@@ -16,7 +19,9 @@ import (
 	"strings"
 	"time"
 
-	"unap2p/internal/churn"
+	"unap2p/internal/megascale"
+	"unap2p/internal/overlay/chord"
+	"unap2p/internal/overlay/gnutella"
 	"unap2p/internal/overlay/kademlia"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
@@ -26,12 +31,16 @@ import (
 
 func init() {
 	register("exp-megascale",
-		"Sharded-kernel scaling — compact Kademlia lookups under churn, peers vs wall-clock/RSS",
+		"Sharded-kernel scaling — compact overlay (kademlia|chord|gnutella) under churn, peers vs wall-clock/RSS",
 		runMegascale)
 }
 
-// megascalePoint is one size point of the sweep.
+// megascaleOverlays is the sweep order for -param overlay=all.
+var megascaleOverlays = []string{"kademlia", "chord", "gnutella"}
+
+// megascalePoint is one (overlay, size) point of the sweep.
 type megascalePoint struct {
+	overlay     string
 	peers       int
 	events      uint64
 	epochs      uint64
@@ -46,10 +55,12 @@ type megascalePoint struct {
 }
 
 // runMegascale sweeps population sizes up to Params["peers"] (default
-// 20000×Scale) over Params["shards"] shards (default 4) and reports the
-// scaling curve. Determinism: everything in the run file is a pure
-// function of (seed, peers, shards) — wall-clock and RSS appear only in
-// the stdout table unless Params["wallclock"]=1 explicitly opts the
+// 20000×Scale) over Params["shards"] shards (default 4) for each overlay
+// named by Params["overlay"] (kademlia, chord, gnutella, a comma list,
+// or "all"; default kademlia) and reports the scaling curve.
+// Determinism: everything in the run file is a pure function of (seed,
+// peers, shards, overlay) — wall-clock and RSS appear only in the stdout
+// table unless Params["wallclock"]=1 explicitly opts the
 // (nondeterministic) scaling health source into the run file for
 // `unapctl series` rendering.
 func runMegascale(cfg RunConfig) Result {
@@ -62,6 +73,27 @@ func runMegascale(cfg RunConfig) Result {
 		shards = 1
 	}
 	wallInRunFile := cfg.param("wallclock", "") == "1"
+
+	ovParam := cfg.param("overlay", "kademlia")
+	var overlays []string
+	var notes []string
+	if ovParam == "all" {
+		overlays = megascaleOverlays
+	} else {
+		for _, name := range strings.Split(ovParam, ",") {
+			name = strings.TrimSpace(name)
+			switch name {
+			case "kademlia", "chord", "gnutella":
+				overlays = append(overlays, name)
+			case "":
+			default:
+				notes = append(notes, fmt.Sprintf("unknown overlay %q skipped (want kademlia|chord|gnutella|all)", name))
+			}
+		}
+	}
+	if len(overlays) == 0 {
+		overlays = []string{"kademlia"}
+	}
 
 	// Three-point sweep toward the target population.
 	sizes := []int{maxPeers / 4, maxPeers / 2, maxPeers}
@@ -86,19 +118,22 @@ func runMegascale(cfg RunConfig) Result {
 		})
 	}
 
-	for _, n := range sizes {
-		pt := runMegascalePoint(cfg, n, shards)
-		points = append(points, pt)
-		if wallInRunFile {
-			cfg.sampleObs()
+	for _, name := range overlays {
+		for _, n := range sizes {
+			pt := runMegascalePoint(cfg, name, n, shards)
+			points = append(points, pt)
+			if wallInRunFile {
+				cfg.sampleObs()
+			}
 		}
 	}
 
 	res := Result{
 		ID:    "exp-megascale",
-		Title: fmt.Sprintf("sharded-kernel scaling, K=%d shards", shards),
-		Headers: []string{"peers", "events", "epochs", "xbytes", "late",
+		Title: fmt.Sprintf("sharded-kernel scaling, K=%d shards, overlay=%s", shards, strings.Join(overlays, "+")),
+		Headers: []string{"overlay", "peers", "events", "epochs", "xbytes", "late",
 			"lookups", "exact", "hops", "sim_end", "wall", "peak_rss"},
+		Notes: notes,
 	}
 	for _, p := range points {
 		// Wall-clock and RSS are measured, not simulated: they vary
@@ -110,27 +145,55 @@ func runMegascale(cfg RunConfig) Result {
 			rss = fmt.Sprintf("%.0fMB", p.peakRSSMB)
 		}
 		res.Rows = append(res.Rows, []string{
+			p.overlay,
 			di(p.peers), d(p.events), d(p.epochs), d(p.crossBytes), d(p.lateEvents),
 			d(p.lookups), pct(p.successRate), f2(p.meanHops),
 			fmt.Sprintf("%.0fms", float64(p.simEnd)), wall, rss,
 		})
 	}
-	last := points[len(points)-1]
 	res.Notes = append(res.Notes,
-		"runs are byte-identical per (seed, shards); K=1 reproduces the single-kernel schedule bit-for-bit",
-		fmt.Sprintf("largest point: %d peers, %d events, %.1f%% exact lookups",
-			last.peers, last.events, 100*last.successRate),
+		"runs are byte-identical per (seed, shards, overlay); K=1 reproduces the single-kernel schedule bit-for-bit",
+		"exact = ground-truth success: globally XOR-closest (kademlia), exact ring predecessor (chord), query hit (gnutella)",
 		"pass -param wallclock=1 to include measured wall/RSS (and the scaling health source in the run file)",
 	)
-	if last.lateEvents > 0 {
+	for _, name := range overlays {
+		var last megascalePoint
+		for _, p := range points {
+			if p.overlay == name {
+				last = p
+			}
+		}
 		res.Notes = append(res.Notes,
-			fmt.Sprintf("WARNING: %d late cross-shard events — epoch window exceeded lookahead", last.lateEvents))
+			fmt.Sprintf("%s largest point: %d peers, %d events, %.1f%% ground-truth success",
+				name, last.peers, last.events, 100*last.successRate))
+		if last.lateEvents > 0 {
+			res.Notes = append(res.Notes,
+				fmt.Sprintf("WARNING: %s: %d late cross-shard events — epoch window exceeded lookahead", name, last.lateEvents))
+		}
 	}
 	return res
 }
 
-// runMegascalePoint builds and runs one population size end to end.
-func runMegascalePoint(cfg RunConfig, peers, shards int) megascalePoint {
+// buildMegascaleOverlay constructs the named compact overlay over the
+// sharded net, registering its own request/reply traffic classes so a
+// multi-overlay sweep keeps per-overlay accounting.
+func buildMegascaleOverlay(name string, snet *transport.ShardedNet, seed uint64) megascale.CompactOverlay {
+	req := snet.RegisterClass(name + ":req")
+	rep := snet.RegisterClass(name + ":rep")
+	switch name {
+	case "kademlia":
+		return kademlia.NewCompact(snet, kademlia.DefaultCompactConfig(), seed, req, rep)
+	case "chord":
+		return chord.NewCompactRing(snet, chord.DefaultCompactConfig(), seed, req, rep)
+	case "gnutella":
+		return gnutella.NewCompactFlood(snet, gnutella.DefaultCompactConfig(), seed, req, rep)
+	}
+	panic("exp-megascale: unknown overlay " + name)
+}
+
+// runMegascalePoint builds and runs one (overlay, population) point end
+// to end.
+func runMegascalePoint(cfg RunConfig, overlay string, peers, shards int) megascalePoint {
 	start := time.Now()
 	src := sim.NewSource(cfg.Seed).Fork("megascale")
 	seed := uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(peers)
@@ -167,7 +230,7 @@ func runMegascalePoint(cfg RunConfig, peers, shards int) megascalePoint {
 	}
 	pt := underlay.NewPeerTable(net, peers)
 	for i := 0; i < peers; i++ {
-		h := megamix(seed ^ uint64(i)<<1)
+		h := megascale.Mix64(seed ^ uint64(i)<<1)
 		as := stubASes[int(h%uint64(len(stubASes)))]
 		pt.AddPeer(as, sim.Duration(2+h>>32%8))
 	}
@@ -179,24 +242,20 @@ func runMegascalePoint(cfg RunConfig, peers, shards int) megascalePoint {
 	if window <= 0 {
 		window = 10
 	}
-	sk := sim.NewSharded(shards, window)
+	sk := sim.NewSharded(part.NumShards(), window)
 	cfg.observeSharded(sk)
 
-	snet := transport.NewShardedNet(net, pt, part, sk, []string{"req", "rep"})
-	dcfg := kademlia.DefaultCompactConfig()
-	dht := kademlia.NewCompact(snet, dcfg, seed^0xd417, 0, 1)
-	dht.Seed(seed^0x5eed, 20, 4)
-	cfg.observeHealth("megascale", dht.HealthStats)
+	snet := transport.NewShardedNet(net, pt, part, sk, nil)
+	ov := buildMegascaleOverlay(overlay, snet, seed^0xd417)
+	ov.Bootstrap(seed ^ 0x5eed)
+	cfg.observeHealth("megascale", ov.HealthStats)
 	cfg.observeHealth("shardednet", snet.HealthStats)
 
 	// Churn: ~20% of peers cycle with 5-minute sessions and 2-minute
 	// absences. K-independent by construction (stateless per-peer draws).
-	drv := &churn.ShardDriver{
-		Seed: seed ^ 0xc42, Table: pt, Part: part, Sk: sk,
-		MeanOn: 300_000 * sim.Millisecond, MeanOff: 120_000 * sim.Millisecond,
-		Churns: func(p underlay.PeerID) bool { return megamix(seed^0xcc^uint64(p))%5 == 0 },
-	}
-	drv.Start()
+	drv := megascale.AttachChurn(snet, seed^0xc42, megascale.ChurnConfig{
+		Frac: 5, MeanOn: 300_000 * sim.Millisecond, MeanOff: 120_000 * sim.Millisecond,
+	})
 	cfg.observeHealth("megachurn", func() map[string]float64 {
 		return map[string]float64{
 			"joins":  float64(drv.Joins()),
@@ -205,8 +264,8 @@ func runMegascalePoint(cfg RunConfig, peers, shards int) megascalePoint {
 		}
 	})
 
-	// Workload: a deterministic subset of peers each issue one lookup for
-	// a pseudo-random target, spread over the first 60 s.
+	// Workload: a deterministic subset of peers each issue one request
+	// for a per-peer pseudo-random key, spread over the first 60 s.
 	const horizon = 120_000 * sim.Millisecond
 	stride := peers / 2000
 	if stride < 1 {
@@ -214,10 +273,10 @@ func runMegascalePoint(cfg RunConfig, peers, shards int) megascalePoint {
 	}
 	for p := 0; p < peers; p += stride {
 		p := underlay.PeerID(p)
-		target := kademlia.NodeID(megamix(seed ^ 0x700c ^ uint64(p)))
-		at := sim.Duration(megamix(seed^0x7111^uint64(p))%60_000) * sim.Millisecond
+		qseed := seed ^ 0x700c ^ uint64(p)
+		at := sim.Duration(megascale.Mix64(seed^0x7111^uint64(p))%60_000) * sim.Millisecond
 		sk.Shard(part.ShardOf(pt, p)).At(at, func() {
-			dht.Lookup(p, target, nil)
+			ov.Query(p, qseed, nil)
 		})
 	}
 
@@ -234,12 +293,13 @@ func runMegascalePoint(cfg RunConfig, peers, shards int) megascalePoint {
 	end := sk.Run(horizon)
 
 	st := sk.Stats()
-	ls := dht.Stats()
+	ls := ov.MegaStats()
 	var crossBytes uint64
 	for _, sh := range st.Shards {
 		crossBytes += sh.CrossBytes
 	}
 	return megascalePoint{
+		overlay:     overlay,
 		peers:       peers,
 		events:      st.Processed,
 		epochs:      st.Epochs,
@@ -252,16 +312,6 @@ func runMegascalePoint(cfg RunConfig, peers, shards int) megascalePoint {
 		wall:        time.Since(start),
 		peakRSSMB:   peakRSSMB(),
 	}
-}
-
-// megamix is the splitmix64 finalizer.
-func megamix(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
 }
 
 // peakRSSMB reads the process's peak resident set (VmHWM) from

@@ -11,6 +11,22 @@ func megaCfg(peers, shards string) RunConfig {
 	}}
 }
 
+// Column indices of the exp-megascale table.
+const (
+	mcOverlay = iota
+	mcPeers
+	mcEvents
+	mcEpochs
+	mcXBytes
+	mcLate
+	mcLookups
+	mcExact
+	mcHops
+	mcSimEnd
+	mcWall
+	mcRSS
+)
+
 // TestMegascaleShape runs the scaling sweep at toy size and checks the
 // table carries a full three-point curve with live lookups.
 func TestMegascaleShape(t *testing.T) {
@@ -19,27 +35,30 @@ func TestMegascaleShape(t *testing.T) {
 		t.Fatalf("want 3 sweep points, got %d", len(r.Rows))
 	}
 	for i, row := range r.Rows {
-		if cell(t, row[1]) <= 0 {
+		if row[mcOverlay] != "kademlia" {
+			t.Fatalf("point %d overlay %q, want default kademlia", i, row[mcOverlay])
+		}
+		if cell(t, row[mcEvents]) <= 0 {
 			t.Fatalf("point %d processed no events", i)
 		}
-		if cell(t, row[4]) != 0 {
-			t.Fatalf("point %d has late cross-shard events: %s", i, row[4])
+		if cell(t, row[mcLate]) != 0 {
+			t.Fatalf("point %d has late cross-shard events: %s", i, row[mcLate])
 		}
-		if cell(t, row[5]) <= 0 {
+		if cell(t, row[mcLookups]) <= 0 {
 			t.Fatalf("point %d completed no lookups", i)
 		}
 	}
 	// Event counts grow with population.
-	if cell(t, r.Rows[2][1]) <= cell(t, r.Rows[0][1]) {
+	if cell(t, r.Rows[2][mcEvents]) <= cell(t, r.Rows[0][mcEvents]) {
 		t.Fatal("events should grow with peers")
 	}
 	// Lookups on the largest point mostly find the exact closest peer.
-	if cell(t, r.Rows[2][6]) < 80 {
-		t.Fatalf("exact rate %s%% too low under churn", r.Rows[2][6])
+	if cell(t, r.Rows[2][mcExact]) < 80 {
+		t.Fatalf("exact rate %s%% too low under churn", r.Rows[2][mcExact])
 	}
 	// Default run hides measured wall/RSS for determinism.
-	if r.Rows[0][9] != "-" || r.Rows[0][10] != "-" {
-		t.Fatalf("wall/rss should be gated, got %q/%q", r.Rows[0][9], r.Rows[0][10])
+	if r.Rows[0][mcWall] != "-" || r.Rows[0][mcRSS] != "-" {
+		t.Fatalf("wall/rss should be gated, got %q/%q", r.Rows[0][mcWall], r.Rows[0][mcRSS])
 	}
 }
 
@@ -60,27 +79,78 @@ func TestMegascaleShardCountInvariant(t *testing.T) {
 	}
 	for i := range r1.Rows {
 		// Same sweep points, all issued lookups complete under both.
-		if r1.Rows[i][0] != r4.Rows[i][0] {
-			t.Fatalf("row %d peers: %q vs %q", i, r1.Rows[i][0], r4.Rows[i][0])
+		if r1.Rows[i][mcPeers] != r4.Rows[i][mcPeers] {
+			t.Fatalf("row %d peers: %q vs %q", i, r1.Rows[i][mcPeers], r4.Rows[i][mcPeers])
 		}
-		if r1.Rows[i][5] != r4.Rows[i][5] {
-			t.Fatalf("row %d lookups: K=1 %q vs K=4 %q", i, r1.Rows[i][5], r4.Rows[i][5])
+		if r1.Rows[i][mcLookups] != r4.Rows[i][mcLookups] {
+			t.Fatalf("row %d lookups: K=1 %q vs K=4 %q", i, r1.Rows[i][mcLookups], r4.Rows[i][mcLookups])
 		}
-		ev1, ev4 := cell(t, r1.Rows[i][1]), cell(t, r4.Rows[i][1])
+		ev1, ev4 := cell(t, r1.Rows[i][mcEvents]), cell(t, r4.Rows[i][mcEvents])
 		if diff := ev4 - ev1; diff > ev1/100 || diff < -ev1/100 {
 			t.Fatalf("row %d events drift beyond 1%%: %v vs %v", i, ev1, ev4)
 		}
-		ex1, ex4 := cell(t, r1.Rows[i][6]), cell(t, r4.Rows[i][6])
+		ex1, ex4 := cell(t, r1.Rows[i][mcExact]), cell(t, r4.Rows[i][mcExact])
 		if diff := ex4 - ex1; diff > 5 || diff < -5 {
 			t.Fatalf("row %d exact rate: %v%% vs %v%%", i, ex1, ex4)
 		}
 	}
 	// K=1 has no cross-shard traffic; K=4 must have some.
-	if cell(t, r1.Rows[2][3]) != 0 {
+	if cell(t, r1.Rows[2][mcXBytes]) != 0 {
 		t.Fatal("K=1 recorded cross-shard bytes")
 	}
-	if cell(t, r4.Rows[2][3]) == 0 {
+	if cell(t, r4.Rows[2][mcXBytes]) == 0 {
 		t.Fatal("K=4 recorded no cross-shard bytes")
+	}
+}
+
+// TestMegascaleOverlayAxis sweeps all three compact overlays and checks
+// each completes its workload with healthy ground-truth success on the
+// same sharded substrate.
+func TestMegascaleOverlayAxis(t *testing.T) {
+	cfg := megaCfg("1600", "2")
+	cfg.Params["overlay"] = "all"
+	r := mustRun(t, "exp-megascale", cfg)
+	if len(r.Rows) != 9 {
+		t.Fatalf("want 3 overlays × 3 points, got %d rows", len(r.Rows))
+	}
+	want := map[string]float64{"kademlia": 80, "chord": 80, "gnutella": 50}
+	seen := map[string]int{}
+	for _, row := range r.Rows {
+		name := row[mcOverlay]
+		floor, known := want[name]
+		if !known {
+			t.Fatalf("unexpected overlay %q", name)
+		}
+		seen[name]++
+		if cell(t, row[mcLate]) != 0 {
+			t.Fatalf("%s has late cross-shard events", name)
+		}
+		if cell(t, row[mcLookups]) <= 0 {
+			t.Fatalf("%s completed no requests", name)
+		}
+		if got := cell(t, row[mcExact]); got < floor {
+			t.Fatalf("%s ground-truth success %.1f%% below floor %.0f%%", name, got, floor)
+		}
+	}
+	for name, n := range seen {
+		if n != 3 {
+			t.Fatalf("%s has %d sweep points, want 3", name, n)
+		}
+	}
+	// Chord vs Gnutella hop economics differ by construction: the flood's
+	// first-hit hop count stays at TTL scale while the ring walk grows
+	// with log n — both must be nonzero.
+	for _, row := range r.Rows {
+		if h := row[mcHops]; h == "0.00" {
+			t.Fatalf("%s reports zero mean hops", row[mcOverlay])
+		}
+	}
+	// A single-overlay run restricted by name matches the axis subset.
+	cfg2 := megaCfg("1600", "2")
+	cfg2.Params["overlay"] = "chord"
+	r2 := mustRun(t, "exp-megascale", cfg2)
+	if len(r2.Rows) != 3 || r2.Rows[0][mcOverlay] != "chord" {
+		t.Fatalf("overlay=chord run malformed: %+v", r2.Rows)
 	}
 }
 
@@ -91,11 +161,11 @@ func TestMegascaleWallclockOptIn(t *testing.T) {
 	cfg.Params["wallclock"] = "1"
 	r := mustRun(t, "exp-megascale", cfg)
 	for _, row := range r.Rows {
-		if row[9] == "-" || row[10] == "-" {
-			t.Fatalf("wallclock=1 should emit measured columns, got %q/%q", row[9], row[10])
+		if row[mcWall] == "-" || row[mcRSS] == "-" {
+			t.Fatalf("wallclock=1 should emit measured columns, got %q/%q", row[mcWall], row[mcRSS])
 		}
-		if !strings.HasSuffix(row[10], "MB") {
-			t.Fatalf("rss cell %q not in MB", row[10])
+		if !strings.HasSuffix(row[mcRSS], "MB") {
+			t.Fatalf("rss cell %q not in MB", row[mcRSS])
 		}
 	}
 }

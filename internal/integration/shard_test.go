@@ -3,6 +3,7 @@ package integration
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -12,14 +13,15 @@ import (
 	"unap2p/internal/telemetry"
 )
 
-// recordMegascale runs exp-megascale with a telemetry probe attached —
-// the same wiring as `unapctl record -probe` — and returns the full run
-// file bytes plus the rendered result table.
-func recordMegascale(t *testing.T, seed int64, peers, shards int) ([]byte, *experiments.Result) {
+// recordMegascale runs exp-megascale for one overlay with a telemetry
+// probe attached — the same wiring as `unapctl record -probe` — and
+// returns the full run file bytes plus the rendered result table.
+func recordMegascale(t *testing.T, seed int64, peers, shards int, overlay string) ([]byte, *experiments.Result) {
 	t.Helper()
 	params := map[string]string{
-		"peers":  strconv.Itoa(peers),
-		"shards": strconv.Itoa(shards),
+		"peers":   strconv.Itoa(peers),
+		"shards":  strconv.Itoa(shards),
+		"overlay": overlay,
 	}
 	var buf bytes.Buffer
 	rec := telemetry.NewRecorder(telemetry.Config{
@@ -44,42 +46,75 @@ func recordMegascale(t *testing.T, seed int64, peers, shards int) ([]byte, *expe
 }
 
 // TestMegascaleRunFilesByteIdentical pins the reproducibility contract
-// from the sharded-kernel refactor: for a fixed (seed, shard count) the
+// of the megascale runtime: for a fixed (seed, shard count, overlay) the
 // entire run file — manifest, barrier samples, closing metrics snapshot
-// — and the rendered table are byte-for-byte identical across runs.
-// Three seeds, single-shard and four-shard each.
+// — and the rendered table are byte-for-byte identical across runs, for
+// every compact overlay port. Three seeds, single-shard and four-shard,
+// each overlay.
 func TestMegascaleRunFilesByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repeated megascale runs skipped in -short")
 	}
-	for _, seed := range []int64{1, 2, 3} {
-		for _, shards := range []int{1, 4} {
-			fileA, resA := recordMegascale(t, seed, 2000, shards)
-			fileB, resB := recordMegascale(t, seed, 2000, shards)
-			if !bytes.Equal(fileA, fileB) {
-				t.Fatalf("seed %d K=%d: run files differ (%d vs %d bytes)",
-					seed, shards, len(fileA), len(fileB))
-			}
-			if resA.Render() != resB.Render() {
-				t.Fatalf("seed %d K=%d: rendered tables differ", seed, shards)
-			}
-			if len(fileA) == 0 {
-				t.Fatalf("seed %d K=%d: empty run file", seed, shards)
-			}
-			// The run file must carry the sharded kernel's gauges and the
-			// barrier-sampled health sources, or 'series' has nothing to plot.
-			for _, want := range []string{"kernel:sharded", "megascale", "megachurn"} {
-				if !bytes.Contains(fileA, []byte(want)) {
-					t.Fatalf("seed %d K=%d: run file lacks %q", seed, shards, want)
+	for _, overlay := range []string{"kademlia", "chord", "gnutella"} {
+		for _, seed := range []int64{1, 2, 3} {
+			for _, shards := range []int{1, 4} {
+				fileA, resA := recordMegascale(t, seed, 2000, shards, overlay)
+				fileB, resB := recordMegascale(t, seed, 2000, shards, overlay)
+				if !bytes.Equal(fileA, fileB) {
+					t.Fatalf("%s seed %d K=%d: run files differ (%d vs %d bytes)",
+						overlay, seed, shards, len(fileA), len(fileB))
+				}
+				if resA.Render() != resB.Render() {
+					t.Fatalf("%s seed %d K=%d: rendered tables differ", overlay, seed, shards)
+				}
+				if len(fileA) == 0 {
+					t.Fatalf("%s seed %d K=%d: empty run file", overlay, seed, shards)
+				}
+				// The run file must carry the sharded kernel's gauges and the
+				// barrier-sampled health sources, or 'series' has nothing to plot.
+				for _, want := range []string{"kernel:sharded", "megascale", "megachurn"} {
+					if !bytes.Contains(fileA, []byte(want)) {
+						t.Fatalf("%s seed %d K=%d: run file lacks %q", overlay, seed, shards, want)
+					}
 				}
 			}
 		}
 	}
 }
 
+// megasmokeRow asserts one overlay's largest sweep point completed
+// cleanly: full population, no late cross-shard events, ground-truth
+// success above the overlay's floor.
+func megasmokeRow(t *testing.T, res *experiments.Result, overlay string, peers int, floor float64) {
+	t.Helper()
+	var last []string
+	for _, row := range res.Rows {
+		if row[0] == overlay {
+			last = row
+		}
+	}
+	if last == nil {
+		t.Fatalf("no rows for overlay %s", overlay)
+	}
+	if last[1] != fmt.Sprint(peers) {
+		t.Fatalf("%s largest point ran %s peers, want %d", overlay, last[1], peers)
+	}
+	if late := last[5]; late != "0" {
+		t.Fatalf("%s late cross-shard events: %s — window exceeded lookahead", overlay, late)
+	}
+	exact, err := strconv.ParseFloat(strings.TrimSuffix(last[7], "%"), 64)
+	if err != nil {
+		t.Fatalf("%s exact cell %q: %v", overlay, last[7], err)
+	}
+	if exact < floor {
+		t.Fatalf("%s ground-truth success %.1f%% < %.0f%% at %d peers", overlay, exact, floor, peers)
+	}
+}
+
 // TestMegascaleSmoke is the CI smoke gate (`make megascale-smoke`): one
-// mid-size sharded run under race, sized by UNAP_MEGASMOKE_PEERS. The
-// default stays small enough for the ordinary test run.
+// mid-size sharded run per compact overlay under race, sized by
+// UNAP_MEGASMOKE_PEERS. The default stays small enough for the ordinary
+// test run.
 func TestMegascaleSmoke(t *testing.T) {
 	peers := 6000
 	if v := os.Getenv("UNAP_MEGASMOKE_PEERS"); v != "" {
@@ -89,25 +124,21 @@ func TestMegascaleSmoke(t *testing.T) {
 		}
 		peers = n
 	}
-	file, res := recordMegascale(t, 7, peers, 4)
-	if len(file) == 0 {
-		t.Fatal("empty run file")
-	}
-	if len(res.Rows) != 3 {
-		t.Fatalf("want 3 sweep points, got %d", len(res.Rows))
-	}
-	last := res.Rows[len(res.Rows)-1]
-	if last[0] != fmt.Sprint(peers) {
-		t.Fatalf("largest point ran %s peers, want %d", last[0], peers)
-	}
-	if late := last[4]; late != "0" {
-		t.Fatalf("late cross-shard events: %s — window exceeded lookahead", late)
-	}
-	exact, err := strconv.ParseFloat(strings.TrimSuffix(last[6], "%"), 64)
-	if err != nil {
-		t.Fatalf("exact cell %q: %v", last[6], err)
-	}
-	if exact < 80 {
-		t.Fatalf("exact lookup rate %.1f%% < 80%% at %d peers", exact, peers)
+	for _, shards := range []int{1, 4} {
+		file, res := recordMegascale(t, 7, peers, shards, "all")
+		if len(file) == 0 {
+			t.Fatalf("K=%d: empty run file", shards)
+		}
+		if len(res.Rows) != 9 {
+			t.Fatalf("K=%d: want 3 overlays × 3 sweep points, got %d rows", shards, len(res.Rows))
+		}
+		megasmokeRow(t, res, "kademlia", peers, 80)
+		megasmokeRow(t, res, "chord", peers, 80)
+		// A TTL-bounded flood reaches a roughly constant neighborhood,
+		// so gnutella's hit rate falls ~1/peers as the haystack grows
+		// (~60% at 6k, ~14% at 50k, ~1% at 1M). Scale the floor with
+		// size instead of pinning the 6k-peer figure.
+		gnutellaFloor := math.Min(50, 150_000/float64(peers))
+		megasmokeRow(t, res, "gnutella", peers, gnutellaFloor)
 	}
 }

@@ -1,0 +1,51 @@
+package megascale
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzClosestGlobal cross-checks the binary-trie XOR ground truth
+// (IDSpace.ClosestXOR, the checker every megascale exactness figure
+// rests on) against a naive linear scan over arbitrary id sets and
+// targets.
+func FuzzClosestGlobal(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	seed := make([]byte, 8+8*5)
+	for i := range seed {
+		seed[i] = byte(Mix64(uint64(i)) >> 56)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 16 {
+			return
+		}
+		target := binary.LittleEndian.Uint64(data[:8])
+		rest := data[8:]
+		seen := map[uint64]bool{}
+		var ids []uint64
+		for len(rest) >= 8 && len(ids) < 256 {
+			id := binary.LittleEndian.Uint64(rest[:8])
+			rest = rest[8:]
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			return
+		}
+		s := NewIDSpaceFrom(ids)
+		got := s.ClosestXOR(target)
+		best, bd := uint64(0), ^uint64(0)
+		for _, id := range ids {
+			if d := id ^ target; d < bd {
+				best, bd = id, d
+			}
+		}
+		if got != best {
+			t.Fatalf("target %x over %d ids: trie %x (dist %x), naive %x (dist %x)",
+				target, len(ids), got, got^target, best, bd)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package megascale
+
+import (
+	"sort"
+
+	"unap2p/internal/underlay"
+)
+
+// IDSpace is the flat-array node-id layer every compact overlay shares:
+// one unique 64-bit id per PeerTable peer, hashed deterministically from
+// (seed, peer), plus the sorted view and rank maps that exact
+// ground-truth checks and geometric bootstrap contacts are built from.
+// Everything is immutable after construction, so any shard may read it.
+type IDSpace struct {
+	ids    []uint64 // ids[p] is peer p's node id
+	sorted []uint64 // ids ascending
+	rank   []int32  // rank[p] is peer p's index in sorted order
+	byRank []underlay.PeerID
+}
+
+// NewIDSpace assigns n unique ids hashed from the seed. Collisions are
+// re-hashed, so ids are unique and still a pure function of (seed, n).
+func NewIDSpace(n int, seed uint64) *IDSpace {
+	ids := make([]uint64, n)
+	seen := make(map[uint64]bool, n)
+	for p := 0; p < n; p++ {
+		id := Mix64(seed ^ uint64(p)*0x9e3779b97f4a7c15)
+		for seen[id] {
+			id = Mix64(id)
+		}
+		seen[id] = true
+		ids[p] = id
+	}
+	return NewIDSpaceFrom(ids)
+}
+
+// NewIDSpaceFrom builds the space over explicit ids (they must be
+// unique). Ports with an external id assignment — and the fuzz harness —
+// use this; most callers want NewIDSpace.
+func NewIDSpaceFrom(ids []uint64) *IDSpace {
+	n := len(ids)
+	s := &IDSpace{
+		ids:    ids,
+		byRank: make([]underlay.PeerID, n),
+		rank:   make([]int32, n),
+	}
+	for p := 0; p < n; p++ {
+		s.byRank[p] = underlay.PeerID(p)
+	}
+	sort.Slice(s.byRank, func(i, j int) bool { return ids[s.byRank[i]] < ids[s.byRank[j]] })
+	s.sorted = make([]uint64, n)
+	for r, p := range s.byRank {
+		s.sorted[r] = ids[p]
+		s.rank[p] = int32(r)
+	}
+	return s
+}
+
+// Len reports the peer count.
+func (s *IDSpace) Len() int { return len(s.ids) }
+
+// ID returns peer p's node id.
+func (s *IDSpace) ID(p underlay.PeerID) uint64 { return s.ids[p] }
+
+// Rank returns peer p's index in ascending-id order.
+func (s *IDSpace) Rank(p underlay.PeerID) int { return int(s.rank[p]) }
+
+// ByRank returns the peer holding ascending-id rank r.
+func (s *IDSpace) ByRank(r int) underlay.PeerID { return s.byRank[r] }
+
+// ClosestXOR returns the node id globally XOR-closest to target — exact
+// ground truth for Kademlia-style overlays, computed by descending the
+// implicit binary trie over the sorted id list: at each bit, follow the
+// branch matching the target's bit if any id lives there, else the other
+// branch. O(64 log n) per query, no per-peer state.
+func (s *IDSpace) ClosestXOR(target uint64) uint64 {
+	ids := s.sorted
+	lo, hi := 0, len(ids)
+	for bit := 63; bit >= 0 && hi-lo > 1; bit-- {
+		mask := uint64(1) << uint(bit)
+		// Ids in [lo,hi) share all bits above bit; mid splits the
+		// 0-branch [lo,mid) from the 1-branch [mid,hi).
+		mid := lo + sort.Search(hi-lo, func(i int) bool { return ids[lo+i]&mask != 0 })
+		if target&mask == 0 {
+			if mid > lo {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		} else {
+			if mid < hi {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	return ids[lo]
+}
+
+// SuccessorRank returns the rank of the first id clockwise from target
+// (inclusive) — ring ground truth for Chord-style overlays.
+func (s *IDSpace) SuccessorRank(target uint64) int {
+	ids := s.sorted
+	r := sort.Search(len(ids), func(i int) bool { return ids[i] >= target })
+	if r == len(ids) {
+		r = 0
+	}
+	return r
+}
+
+// PredecessorID returns the id of the last node strictly counterclockwise
+// from target — the node whose successor owns target on the ring.
+func (s *IDSpace) PredecessorID(target uint64) uint64 {
+	n := len(s.sorted)
+	return s.sorted[(s.SuccessorRank(target)+n-1)%n]
+}
+
+// CWDist is the clockwise ring distance from id a to id b (how far b is
+// ahead of a on the 2^64 ring).
+func CWDist(a, b uint64) uint64 { return b - a }
+
+// SeedContacts feeds every peer a deterministic bootstrap contact set
+// covering every distance scale: `fanout` pseudo-random peers, the
+// `near` successors AND predecessors on the sorted id ring, and finger
+// links at geometric rank offsets (±1, ±2, ±4, …). The geometry matters
+// at scale. Random contacts alone leave the best candidate ~n/table-size
+// ranks from any target, and a local-only ring cannot bridge that gap,
+// so requests at 10⁵⁺ peers wander and stall far from the answer;
+// geometric fingers put a contact in every distance band, restoring
+// O(log n) convergence. Ring links are bidirectional because the closest
+// peer is findable only through peers that know it. Call during
+// single-threaded setup; observe receives each (peer, contact) pair in a
+// fixed order.
+func (s *IDSpace) SeedContacts(seed uint64, fanout, near int, observe func(p, q underlay.PeerID)) {
+	n := len(s.ids)
+	for p := 0; p < n; p++ {
+		r := int(s.rank[p])
+		for f := 0; f < fanout; f++ {
+			q := int(Mix64(seed^uint64(p)<<20^uint64(f)) % uint64(n))
+			observe(underlay.PeerID(p), underlay.PeerID(q))
+		}
+		for step := 1; step <= near; step++ {
+			observe(underlay.PeerID(p), s.byRank[(r+step)%n])
+			observe(underlay.PeerID(p), s.byRank[(r-step+n)%n])
+		}
+		for j := 0; 1<<j < n; j++ {
+			observe(underlay.PeerID(p), s.byRank[(r+1<<j)%n])
+			observe(underlay.PeerID(p), s.byRank[(r-1<<j%n+n)%n])
+		}
+	}
+}

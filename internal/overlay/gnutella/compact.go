@@ -1,0 +1,474 @@
+package gnutella
+
+import (
+	"unap2p/internal/megascale"
+	"unap2p/internal/sim"
+	"unap2p/internal/transport"
+	"unap2p/internal/underlay"
+)
+
+// CompactConfig parameterizes a CompactFlood.
+type CompactConfig struct {
+	// UltraShare elects one peer in UltraShare as an ultrapeer (hashed,
+	// deterministic, K-independent).
+	UltraShare int
+	// UltraDegree is the target ultra↔ultra links initiated per
+	// ultrapeer; accepted links can double a node's degree.
+	UltraDegree int
+	// LeafParents is how many ultrapeers each leaf attaches to.
+	LeafParents int
+	// QueryTTL bounds the flood depth over the ultrapeer graph.
+	QueryTTL int
+	// Replicas is how many peers own each key (the QRP-style shared-file
+	// placement).
+	Replicas int
+	// QueryBytes and HitBytes are the per-message sizes charged.
+	QueryBytes, HitBytes uint64
+	// Timeout is the simulated deadline after which a query is scored:
+	// a hit that arrived by then counts, silence is a miss.
+	Timeout sim.Duration
+	// Aware, when true, biases ultra neighbor and leaf parent choices
+	// toward same-AS candidates (Aggarwal et al.'s biased neighbor
+	// selection, the paper's central Gnutella evidence) while keeping
+	// the hashed fallback links that hold the graph together.
+	Aware bool
+	// AwareProbe is how many extra hash draws an aware pick spends
+	// looking for a same-AS candidate before falling back.
+	AwareProbe int
+}
+
+// DefaultCompactConfig sizes the overlay for megascale runs.
+func DefaultCompactConfig() CompactConfig {
+	return CompactConfig{
+		UltraShare: 8, UltraDegree: 6, LeafParents: 2,
+		QueryTTL: 3, Replicas: 3,
+		QueryBytes: queryBytes, HitBytes: queryHitBytes,
+		Timeout: 3000, AwareProbe: 8,
+	}
+}
+
+// CompactFlood is a struct-of-arrays Gnutella over PeerTable peers for
+// sharded megascale runs — the unstructured port onto the megascale
+// runtime, which is what turns the million-peer study into the
+// structured-vs-unstructured comparison the 2009 paper could only
+// sketch. Ids come from a megascale.IDSpace (unused for routing, but
+// they key the shared workload targets), accounting lives in
+// megascale.Counters, and the topology is flat arrays: a hashed
+// ultrapeer election, an ultra↔ultra neighbor table, per-leaf parent
+// slots, and a CSR leaf list per ultrapeer.
+//
+// A query is a TTL-bounded flood over the ultrapeer graph with
+// QRP-style last-hop routing: an ultrapeer knows which of its leaves
+// share a key (statically, from the deterministic replica placement)
+// and forwards the query only to those, which answer with a QueryHit
+// straight to the origin. Flood dedup state is per-shard, keyed by
+// (query id, peer), so every mutation stays on the owning shard.
+type CompactFlood struct {
+	cfg CompactConfig
+	net *transport.ShardedNet
+
+	space *megascale.IDSpace
+	uidx  []int32  // dense ultra index per peer, -1 for leaves
+	ultra []uint32 // ultra peer ids, election order
+	nbr   []uint32 // U×maxDeg ultra neighbors
+	ncnt  []uint8  // neighbor fill per ultra
+	par   []uint32 // n×LeafParents parent ultras (leaf rows only)
+	pcnt  []uint8  // parent fill per peer
+	lhead []int32  // U+1 CSR offsets into llist
+	llist []uint32 // leaves per ultra, CSR
+
+	qryClass, hitClass int
+
+	ctr *megascale.Counters
+	// seen holds per-shard flood dedup sets keyed qid<<32|peer; each
+	// shard touches only its own map.
+	seen []map[uint64]struct{}
+	// qseq allocates per-shard query ids; potential counts queries whose
+	// key was statically reachable (the ground-truth denominator).
+	qseq      []uint32
+	potential []uint64
+}
+
+// maxDeg is the accepted-degree cap (initiated + accepted links).
+func (cfg CompactConfig) maxDeg() int { return 2 * cfg.UltraDegree }
+
+// NewCompactFlood builds a compact Gnutella over every peer in the
+// net's table. qryClass and hitClass are the transport classes for
+// query and query-hit traffic. Call Bootstrap before the kernel runs.
+func NewCompactFlood(net *transport.ShardedNet, cfg CompactConfig, seed uint64, qryClass, hitClass int) *CompactFlood {
+	n := net.Peers().Len()
+	if cfg.UltraShare <= 0 || cfg.UltraDegree <= 0 || cfg.LeafParents <= 0 ||
+		cfg.QueryTTL <= 0 || cfg.Replicas <= 0 || cfg.Timeout <= 0 {
+		panic("gnutella: bad CompactConfig")
+	}
+	if cfg.AwareProbe <= 0 {
+		cfg.AwareProbe = 8
+	}
+	shards := net.Kernel().NumShards()
+	g := &CompactFlood{
+		cfg: cfg, net: net,
+		space:    megascale.NewIDSpace(n, seed),
+		uidx:     make([]int32, n),
+		qryClass: qryClass, hitClass: hitClass,
+		ctr:       megascale.NewCounters(shards),
+		seen:      make([]map[uint64]struct{}, shards),
+		qseq:      make([]uint32, shards),
+		potential: make([]uint64, shards),
+	}
+	for i := range g.seen {
+		g.seen[i] = make(map[uint64]struct{})
+	}
+	return g
+}
+
+// Name identifies the overlay (megascale.CompactOverlay).
+func (g *CompactFlood) Name() string { return "gnutella" }
+
+// IsUltra reports whether peer p was elected ultrapeer.
+func (g *CompactFlood) IsUltra(p underlay.PeerID) bool { return g.uidx[p] >= 0 }
+
+// Ultras reports the ultrapeer count.
+func (g *CompactFlood) Ultras() int { return len(g.ultra) }
+
+// Bootstrap elects ultrapeers and builds the whole flat topology
+// deterministically from the seed. Single-threaded setup only.
+func (g *CompactFlood) Bootstrap(seed uint64) {
+	n := g.space.Len()
+	pt := g.net.Peers()
+	// Hashed ultrapeer election; a tiny network promotes everyone so the
+	// graph exists.
+	for p := range g.uidx {
+		g.uidx[p] = -1
+	}
+	g.ultra = g.ultra[:0]
+	for p := 0; p < n; p++ {
+		if megascale.Mix64(seed^0xa17a^uint64(p))%uint64(g.cfg.UltraShare) == 0 {
+			g.uidx[p] = int32(len(g.ultra))
+			g.ultra = append(g.ultra, uint32(p))
+		}
+	}
+	if len(g.ultra) < 2 {
+		g.ultra = g.ultra[:0]
+		for p := 0; p < n; p++ {
+			g.uidx[p] = int32(p)
+			g.ultra = append(g.ultra, uint32(p))
+		}
+	}
+	u := len(g.ultra)
+	maxDeg := g.cfg.maxDeg()
+	g.nbr = make([]uint32, u*maxDeg)
+	g.ncnt = make([]uint8, u)
+	// pickUltra draws a pseudo-random ultra, preferring a same-AS one
+	// within AwareProbe extra draws when Aware is set.
+	pickUltra := func(key uint64, as int) int {
+		pick := int(megascale.Mix64(key) % uint64(u))
+		if !g.cfg.Aware {
+			return pick
+		}
+		for t := 0; t < g.cfg.AwareProbe; t++ {
+			c := int(megascale.Mix64(key^uint64(t+1)*0x9e3779b97f4a7c15) % uint64(u))
+			if pt.AS(underlay.PeerID(g.ultra[c])) == as {
+				return c
+			}
+		}
+		return pick
+	}
+	linked := func(a, b int) bool {
+		base := a * maxDeg
+		for i := 0; i < int(g.ncnt[a]); i++ {
+			if g.nbr[base+i] == g.ultra[b] {
+				return true
+			}
+		}
+		return false
+	}
+	link := func(a, b int) {
+		if a == b || linked(a, b) ||
+			int(g.ncnt[a]) >= maxDeg || int(g.ncnt[b]) >= maxDeg {
+			return
+		}
+		g.nbr[a*maxDeg+int(g.ncnt[a])] = g.ultra[b]
+		g.ncnt[a]++
+		g.nbr[b*maxDeg+int(g.ncnt[b])] = g.ultra[a]
+		g.ncnt[b]++
+	}
+	for i := 0; i < u; i++ {
+		as := pt.AS(underlay.PeerID(g.ultra[i]))
+		for d := 0; d < g.cfg.UltraDegree; d++ {
+			// The paper's k-external rule: even aware nodes keep their
+			// first link unbiased so the graph stays connected across
+			// ASes.
+			if g.cfg.Aware && d == 0 {
+				link(i, int(megascale.Mix64(seed^0x11b8^uint64(i)<<20)%uint64(u)))
+				continue
+			}
+			link(i, pickUltra(seed^0x0b61^uint64(i)<<20^uint64(d), as))
+		}
+	}
+	// Leaves attach to LeafParents distinct ultras; CSR-invert for the
+	// per-ultra leaf lists QRP forwarding walks.
+	g.par = make([]uint32, n*g.cfg.LeafParents)
+	g.pcnt = make([]uint8, n)
+	leafCnt := make([]int32, u)
+	for p := 0; p < n; p++ {
+		if g.uidx[p] >= 0 {
+			continue
+		}
+		as := pt.AS(underlay.PeerID(p))
+		base := p * g.cfg.LeafParents
+		for s := 0; s < g.cfg.LeafParents; s++ {
+			c := pickUltra(seed^0x1eaf^uint64(p)<<8^uint64(s), as)
+			dup := false
+			for i := 0; i < int(g.pcnt[p]); i++ {
+				if g.par[base+i] == g.ultra[c] {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			g.par[base+int(g.pcnt[p])] = g.ultra[c]
+			g.pcnt[p]++
+			leafCnt[c]++
+		}
+	}
+	g.lhead = make([]int32, u+1)
+	for i := 0; i < u; i++ {
+		g.lhead[i+1] = g.lhead[i] + leafCnt[i]
+	}
+	g.llist = make([]uint32, g.lhead[u])
+	fill := make([]int32, u)
+	for p := 0; p < n; p++ {
+		if g.uidx[p] >= 0 {
+			continue
+		}
+		base := p * g.cfg.LeafParents
+		for i := 0; i < int(g.pcnt[p]); i++ {
+			ui := g.uidx[g.par[base+i]]
+			g.llist[g.lhead[ui]+fill[ui]] = uint32(p)
+			fill[ui]++
+		}
+	}
+}
+
+// owners derives the Replicas peers sharing the key drawn from a query
+// seed — the deterministic replica placement both the flood's QRP check
+// and the ground truth read.
+func (g *CompactFlood) owners(key uint64, out []underlay.PeerID) []underlay.PeerID {
+	n := uint64(g.space.Len())
+	out = out[:0]
+	for r := 0; r < g.cfg.Replicas; r++ {
+		out = append(out, underlay.PeerID(megascale.Mix64(key^uint64(r+1)*0xbf58476d1ce4e5b9)%n))
+	}
+	return out
+}
+
+// attachedTo reports whether owner o is peer u itself or a leaf attached
+// to ultrapeer u (a static read of the parent rows).
+func (g *CompactFlood) attachedTo(o, u underlay.PeerID) bool {
+	if o == u {
+		return true
+	}
+	if g.uidx[u] < 0 || g.uidx[o] >= 0 {
+		return false
+	}
+	base := int(o) * g.cfg.LeafParents
+	for i := 0; i < int(g.pcnt[o]); i++ {
+		if g.par[base+i] == uint32(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// floodQuery is one in-flight query's origin-shard state.
+type floodQuery struct {
+	hits     int
+	firstHop int
+	best     underlay.PeerID
+}
+
+// Query implements megascale.CompactOverlay: one keyword query for a
+// key derived from the per-request seed, flooded TTL-bounded from the
+// origin's ultrapeers. Must be invoked on origin's owning shard; onDone
+// (which may be nil) runs there at the query deadline. Result.OK
+// reports a hit; Result.Hops is the first hit's hop count.
+func (g *CompactFlood) Query(origin underlay.PeerID, seed uint64, onDone func(megascale.Result)) {
+	key := megascale.Mix64(seed ^ 0x6e7e11a)
+	owners := g.owners(key, nil)
+	oshard := g.net.ShardOf(origin)
+	g.ctr.Start(oshard)
+	qid := uint64(g.qseq[oshard])<<8 | uint64(oshard)
+	g.qseq[oshard]++
+	st := &floodQuery{best: origin}
+	if g.uidx[origin] >= 0 {
+		// Ultra origin processes the query locally, no self-message.
+		g.deliver(origin, origin, qid, owners, g.cfg.QueryTTL, 0, st)
+	} else {
+		base := int(origin) * g.cfg.LeafParents
+		for i := 0; i < int(g.pcnt[origin]); i++ {
+			up := underlay.PeerID(g.par[base+i])
+			g.net.Send(origin, up, g.qryClass, g.cfg.QueryBytes, func() {
+				g.deliver(origin, up, qid, owners, g.cfg.QueryTTL, 1, st)
+			})
+		}
+	}
+	g.net.Kernel().Shard(oshard).Schedule(g.cfg.Timeout, func() {
+		ok := st.hits > 0
+		g.ctr.Finish(oshard, ok, st.firstHop)
+		if g.PotentialHit(origin, key) {
+			g.potential[oshard]++
+		}
+		if onDone != nil {
+			onDone(megascale.Result{Origin: origin, Best: st.best, OK: ok, Hops: st.firstHop})
+		}
+	})
+}
+
+// deliver processes the query at ultrapeer u, on u's shard: liveness
+// gate, per-shard dedup, QRP hit check against u and its leaves, then a
+// TTL-bounded forward to u's neighbors.
+func (g *CompactFlood) deliver(origin, u underlay.PeerID, qid uint64,
+	owners []underlay.PeerID, ttl, hops int, st *floodQuery) {
+	if !g.net.Peers().Up(u) {
+		return
+	}
+	shard := g.net.ShardOf(u)
+	dk := qid<<32 | uint64(u)
+	if _, dup := g.seen[shard][dk]; dup {
+		return
+	}
+	g.seen[shard][dk] = struct{}{}
+	for _, o := range owners {
+		o := o
+		if !g.attachedTo(o, u) {
+			continue
+		}
+		if o == u {
+			g.reply(origin, u, hops, st)
+			continue
+		}
+		// QRP last hop: only the owning leaf gets the query; it answers
+		// the origin directly if alive.
+		hop := hops + 1
+		g.net.Send(u, o, g.qryClass, g.cfg.QueryBytes, func() {
+			if !g.net.Peers().Up(o) {
+				return
+			}
+			lk := qid<<32 | uint64(o)
+			ls := g.net.ShardOf(o)
+			if _, dup := g.seen[ls][lk]; dup {
+				return
+			}
+			g.seen[ls][lk] = struct{}{}
+			g.reply(origin, o, hop, st)
+		})
+	}
+	if ttl <= 1 {
+		return
+	}
+	ui := int(g.uidx[u])
+	base := ui * g.cfg.maxDeg()
+	for i := 0; i < int(g.ncnt[ui]); i++ {
+		v := underlay.PeerID(g.nbr[base+i])
+		g.net.Send(u, v, g.qryClass, g.cfg.QueryBytes, func() {
+			g.deliver(origin, v, qid, owners, ttl-1, hops+1, st)
+		})
+	}
+}
+
+// reply sends a QueryHit from peer h back to the origin's shard.
+func (g *CompactFlood) reply(origin, h underlay.PeerID, hops int, st *floodQuery) {
+	g.net.Send(h, origin, g.hitClass, g.cfg.HitBytes, func() {
+		if st.hits == 0 {
+			st.firstHop = hops
+			st.best = h
+		}
+		st.hits++
+	})
+}
+
+// PotentialHit is the ground-truth checker: whether any replica of the
+// key is reachable from origin within QueryTTL over the static
+// ultrapeer graph, ignoring liveness (stale QRP tables answer for dead
+// peers in deployed Gnutella too). An actual hit implies a potential
+// hit; the gap between the two rates is exactly the churn's toll on the
+// flood. Pure read of immutable topology — safe from any shard.
+func (g *CompactFlood) PotentialHit(origin underlay.PeerID, key uint64) bool {
+	owners := g.owners(key, nil)
+	type qe struct {
+		u   underlay.PeerID
+		ttl int
+	}
+	var frontier []qe
+	visited := map[underlay.PeerID]bool{}
+	if g.uidx[origin] >= 0 {
+		frontier = append(frontier, qe{origin, g.cfg.QueryTTL})
+		visited[origin] = true
+	} else {
+		base := int(origin) * g.cfg.LeafParents
+		for i := 0; i < int(g.pcnt[origin]); i++ {
+			up := underlay.PeerID(g.par[base+i])
+			if !visited[up] {
+				visited[up] = true
+				frontier = append(frontier, qe{up, g.cfg.QueryTTL})
+			}
+		}
+	}
+	for len(frontier) > 0 {
+		e := frontier[0]
+		frontier = frontier[1:]
+		for _, o := range owners {
+			if g.attachedTo(o, e.u) {
+				return true
+			}
+		}
+		if e.ttl <= 1 {
+			continue
+		}
+		ui := int(g.uidx[e.u])
+		base := ui * g.cfg.maxDeg()
+		for i := 0; i < int(g.ncnt[ui]); i++ {
+			v := underlay.PeerID(g.nbr[base+i])
+			if !visited[v] {
+				visited[v] = true
+				frontier = append(frontier, qe{v, e.ttl - 1})
+			}
+		}
+	}
+	return false
+}
+
+// Potential reports how many scored queries were statically reachable.
+// Barrier-safe.
+func (g *CompactFlood) Potential() uint64 {
+	var n uint64
+	for _, p := range g.potential {
+		n += p
+	}
+	return n
+}
+
+// Stats aggregates the per-shard query counters. Barrier-safe.
+func (g *CompactFlood) Stats() megascale.Stats { return g.ctr.Stats() }
+
+// MegaStats implements megascale.CompactOverlay.
+func (g *CompactFlood) MegaStats() megascale.Stats { return g.ctr.Stats() }
+
+// HealthStats exposes query health plus the ground-truth coverage — the
+// fraction of statically-reachable keys the churned flood actually hit.
+func (g *CompactFlood) HealthStats() map[string]float64 {
+	h := g.ctr.Health()
+	s := g.ctr.Stats()
+	pot := g.Potential()
+	h["potential_rate"] = 0
+	h["coverage"] = 0
+	if s.Done > 0 {
+		h["potential_rate"] = float64(pot) / float64(s.Done)
+	}
+	if pot > 0 {
+		h["coverage"] = float64(s.OK) / float64(pot)
+	}
+	return h
+}

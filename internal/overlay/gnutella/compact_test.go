@@ -1,0 +1,218 @@
+package gnutella
+
+import (
+	"reflect"
+	"testing"
+
+	"unap2p/internal/megascale"
+	"unap2p/internal/sim"
+	"unap2p/internal/transport"
+	"unap2p/internal/underlay"
+)
+
+// buildCompactFlood wires a small sharded stack: star underlay, peer
+// table, partition, kernel, transport, flood overlay.
+func buildCompactFlood(t *testing.T, perAS, K int, seed uint64, aware bool) (*CompactFlood, *transport.ShardedNet) {
+	t.Helper()
+	u := underlay.New()
+	transit := u.AddAS(underlay.TransitISP, 2)
+	for i := 0; i < 4; i++ {
+		stub := u.AddAS(underlay.LocalISP, 4)
+		u.ConnectTransit(stub, transit, 10)
+	}
+	u.ComputeRoutes()
+	pt := underlay.NewPeerTable(u, 4*perAS)
+	for as := 1; as <= 4; as++ {
+		for j := 0; j < perAS; j++ {
+			pt.AddPeer(as, sim.Duration(2+j%4))
+		}
+	}
+	part := underlay.PartitionASes(u.NumASes(),
+		func(as int) int { return pt.PeersPerAS()[int32(as)] }, K)
+	window := underlay.MinCrossShardLatency(pt, part)
+	if window <= 0 {
+		window = 5
+	}
+	sk := sim.NewSharded(K, window)
+	net := transport.NewShardedNet(u, pt, part, sk, []string{"qry", "hit"})
+	cfg := DefaultCompactConfig()
+	cfg.Aware = aware
+	g := NewCompactFlood(net, cfg, seed, 0, 1)
+	g.Bootstrap(seed ^ 0x5eed)
+	return g, net
+}
+
+// TestCompactFloodTopology checks the deterministic election and the
+// structural invariants of the flat topology arrays.
+func TestCompactFloodTopology(t *testing.T) {
+	g, net := buildCompactFlood(t, 32, 1, 9, false)
+	g2, _ := buildCompactFlood(t, 32, 2, 9, false)
+	pt := net.Peers()
+	n := pt.Len()
+	if g.Ultras() == 0 || g.Ultras() == n {
+		t.Fatalf("degenerate election: %d ultras of %d peers", g.Ultras(), n)
+	}
+	maxDeg := g.cfg.maxDeg()
+	for p := 0; p < n; p++ {
+		if g.IsUltra(underlay.PeerID(p)) != g2.IsUltra(underlay.PeerID(p)) {
+			t.Fatal("election depends on shard count")
+		}
+		if g.IsUltra(underlay.PeerID(p)) {
+			ui := int(g.uidx[p])
+			deg := int(g.ncnt[ui])
+			if deg == 0 || deg > maxDeg {
+				t.Fatalf("ultra %d degree %d out of range", p, deg)
+			}
+			// Neighbor symmetry.
+			for i := 0; i < deg; i++ {
+				v := g.nbr[ui*maxDeg+i]
+				vi := int(g.uidx[v])
+				found := false
+				for j := 0; j < int(g.ncnt[vi]); j++ {
+					if g.nbr[vi*maxDeg+j] == uint32(p) {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("link %d→%d not symmetric", p, v)
+				}
+			}
+			continue
+		}
+		// Leaves hold ≥1 parent, all ultras, mirrored in the CSR list.
+		if g.pcnt[p] == 0 {
+			t.Fatalf("leaf %d has no parents", p)
+		}
+		for i := 0; i < int(g.pcnt[p]); i++ {
+			u := g.par[p*g.cfg.LeafParents+i]
+			ui := g.uidx[u]
+			if ui < 0 {
+				t.Fatalf("leaf %d parent %d is not an ultra", p, u)
+			}
+			found := false
+			for k := g.lhead[ui]; k < g.lhead[ui+1]; k++ {
+				if g.llist[k] == uint32(p) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("leaf %d missing from parent %d's CSR list", p, u)
+			}
+		}
+	}
+}
+
+// TestCompactFloodQueryStatic floods queries on a static (no churn)
+// network: every hit must be statically potential, and coverage of the
+// potential set must be high.
+func TestCompactFloodQueryStatic(t *testing.T) {
+	g, net := buildCompactFlood(t, 32, 2, 11, false)
+	pt := net.Peers()
+	for p := 0; p < pt.Len(); p++ {
+		p := underlay.PeerID(p)
+		qseed := uint64(p) ^ 0xabcd
+		net.Kernel().Shard(net.ShardOf(p)).Schedule(sim.Duration(int(p)%16), func() {
+			g.Query(p, qseed, func(r megascale.Result) {
+				if r.OK && !g.PotentialHit(r.Origin, megascale.Mix64(qseed^0x6e7e11a)) {
+					t.Errorf("peer %d: actual hit without potential hit", r.Origin)
+				}
+				if r.OK && r.Hops <= 0 {
+					t.Errorf("peer %d: hit with no hops", r.Origin)
+				}
+			})
+		})
+	}
+	net.Kernel().Drain()
+	st := g.Stats()
+	if st.Done != uint64(pt.Len()) {
+		t.Fatalf("scored %d of %d queries", st.Done, pt.Len())
+	}
+	pot := g.Potential()
+	if st.OK > pot {
+		t.Fatalf("hits %d exceed potential %d — ground-truth invariant broken", st.OK, pot)
+	}
+	if pot == 0 {
+		t.Fatal("no statically reachable keys — topology too sparse for the test")
+	}
+	cov := float64(st.OK) / float64(pot)
+	if cov < 0.9 {
+		t.Fatalf("static coverage %.3f < 0.9 (hits %d, potential %d)", cov, st.OK, pot)
+	}
+	h := g.HealthStats()
+	if h["coverage"] != cov {
+		t.Fatalf("health coverage %.3f != %.3f", h["coverage"], cov)
+	}
+}
+
+// TestCompactFloodDeterministicAcrossK pins per-K reproducibility and
+// K-independence of the workload outcomes under churn.
+func TestCompactFloodDeterministicAcrossK(t *testing.T) {
+	run := func(K int) (megascale.Stats, uint64, transport.NetStats, sim.Time) {
+		g, net := buildCompactFlood(t, 24, K, 21, false)
+		pt := net.Peers()
+		megascale.AttachChurn(net, 77, megascale.ChurnConfig{
+			Frac: 5, MeanOn: 400, MeanOff: 150,
+		})
+		for p := 0; p < pt.Len(); p += 3 {
+			p := underlay.PeerID(p)
+			net.Kernel().Shard(net.ShardOf(p)).Schedule(sim.Duration(int(p)), func() {
+				g.Query(p, 0x777^uint64(p), nil)
+			})
+		}
+		end := net.Kernel().Run(8000)
+		return g.Stats(), g.Potential(), net.Stats(), end
+	}
+	s1, p1, n1, e1 := run(1)
+	s1b, p1b, n1b, e1b := run(1)
+	if s1 != s1b || p1 != p1b || !reflect.DeepEqual(n1, n1b) || e1 != e1b {
+		t.Fatalf("K=1 not reproducible: %+v vs %+v", s1, s1b)
+	}
+	s4, p4, n4, e4 := run(4)
+	s4b, p4b, n4b, e4b := run(4)
+	if s4 != s4b || p4 != p4b || !reflect.DeepEqual(n4, n4b) || e4 != e4b {
+		t.Fatalf("K=4 not reproducible: %+v vs %+v", s4, s4b)
+	}
+	if s1.Done == 0 || s1.OK == 0 {
+		t.Fatalf("no query activity under churn: %+v", s1)
+	}
+	if s4.Done != s1.Done || s4.Started != s1.Started || p4 != p1 {
+		t.Fatalf("query counts depend on K: %+v/%d vs %+v/%d", s1, p1, s4, p4)
+	}
+	dOK := int64(s4.OK) - int64(s1.OK)
+	if dOK < -2 || dOK > 2 {
+		t.Fatalf("hit count drifts across K: %d vs %d", s1.OK, s4.OK)
+	}
+}
+
+// TestCompactFloodAware checks biased neighbor selection raises the
+// same-AS fraction of ultra links while keeping the k-external escape
+// links that span ASes.
+func TestCompactFloodAware(t *testing.T) {
+	stats := func(g *CompactFlood, net *transport.ShardedNet) (sameFrac float64, crossLinks int) {
+		pt := net.Peers()
+		maxDeg := g.cfg.maxDeg()
+		same, total := 0, 0
+		for ui, up := range g.ultra {
+			for i := 0; i < int(g.ncnt[ui]); i++ {
+				v := g.nbr[ui*maxDeg+i]
+				total++
+				if pt.AS(underlay.PeerID(up)) == pt.AS(underlay.PeerID(v)) {
+					same++
+				} else {
+					crossLinks++
+				}
+			}
+		}
+		return float64(same) / float64(total), crossLinks
+	}
+	plain, pnet := buildCompactFlood(t, 48, 1, 5, false)
+	aware, anet := buildCompactFlood(t, 48, 1, 5, true)
+	fp, _ := stats(plain, pnet)
+	fa, cross := stats(aware, anet)
+	if fa <= fp {
+		t.Fatalf("aware same-AS link fraction %.3f not above plain %.3f", fa, fp)
+	}
+	if cross == 0 {
+		t.Fatal("aware graph lost every cross-AS link — k-external rule broken")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"unap2p/internal/megascale"
 	"unap2p/internal/transport"
 	"unap2p/internal/underlay"
 )
@@ -35,28 +36,23 @@ func DefaultCompactConfig() CompactConfig {
 }
 
 // CompactDHT is a struct-of-arrays Kademlia over PeerTable peers for
-// sharded megascale runs. Per-peer state is two flat slices — a routing
-// table of n×Buckets×K contact slots and a fill count per bucket — with
-// no per-peer structs, maps, or interior pointers. All lookup logic runs
-// on the origin peer's shard; each hop's request executes on the target
-// peer's shard (where its liveness may be read) and replies through the
-// sharded transport, so the overlay obeys the kernel's shard-ownership
-// rules by construction.
+// sharded megascale runs, built on the megascale runtime: node ids and
+// ground truth come from a megascale.IDSpace, the iterative α-parallel
+// lookup runs on the shared megascale.Iter state-machine driver, and
+// request accounting lives in per-shard megascale.Counters. What stays
+// Kademlia-specific is the routing geometry — the XOR metric, the flat
+// n×Buckets×K bucket table, and the outward bucket scan below.
 type CompactDHT struct {
 	cfg CompactConfig
 	net *transport.ShardedNet
 
-	ids    []NodeID // ids[p] is peer p's node id
-	sorted []NodeID // ids ascending, for exact closest-peer ground truth
-	rt     []uint32 // routing table slots, peer p at rt[p*Buckets*K:]
-	cnt    []uint8  // bucket fill counts, peer p at cnt[p*Buckets:]
+	space *megascale.IDSpace
+	ids   []NodeID // ids[p] is peer p's node id — flat view of space
+	rt    []uint32 // routing table slots, peer p at rt[p*Buckets*K:]
+	cnt   []uint8  // bucket fill counts, peer p at cnt[p*Buckets:]
 
-	// reqClass/repClass are the transport class indices for RPCs.
-	reqClass, repClass int
-
-	// Per-shard lookup counters, owned by each shard.
-	started, done, ok []uint64
-	hops              []uint64
+	ctr  *megascale.Counters
+	iter megascale.Iter
 }
 
 // NewCompact builds a compact DHT over every peer in the net's table.
@@ -70,41 +66,40 @@ func NewCompact(net *transport.ShardedNet, cfg CompactConfig, seed uint64, reqCl
 	}
 	d := &CompactDHT{
 		cfg: cfg, net: net,
-		ids:      make([]NodeID, n),
-		rt:       make([]uint32, n*cfg.Buckets*cfg.K),
-		cnt:      make([]uint8, n*cfg.Buckets),
-		reqClass: reqClass, repClass: repClass,
-		started: make([]uint64, net.Kernel().NumShards()),
-		done:    make([]uint64, net.Kernel().NumShards()),
-		ok:      make([]uint64, net.Kernel().NumShards()),
-		hops:    make([]uint64, net.Kernel().NumShards()),
+		space: megascale.NewIDSpace(n, seed),
+		rt:    make([]uint32, n*cfg.Buckets*cfg.K),
+		cnt:   make([]uint8, n*cfg.Buckets),
+		ctr:   megascale.NewCounters(net.Kernel().NumShards()),
 	}
-	seen := make(map[NodeID]bool, n)
+	d.ids = make([]NodeID, n)
 	for p := 0; p < n; p++ {
-		id := NodeID(mix64(seed ^ uint64(p)*0x9e3779b97f4a7c15))
-		for seen[id] {
-			id = NodeID(mix64(uint64(id)))
-		}
-		seen[id] = true
-		d.ids[p] = id
+		d.ids[p] = NodeID(d.space.ID(underlay.PeerID(p)))
 	}
-	d.sorted = append(d.sorted, d.ids...)
-	sort.Slice(d.sorted, func(i, j int) bool { return d.sorted[i] < d.sorted[j] })
+	d.iter = megascale.Iter{
+		Net: net, ReqClass: reqClass, RepClass: repClass, RPCBytes: cfg.RPCBytes,
+		Alpha: cfg.Alpha, Width: 3 * cfg.K, Ctr: d.ctr,
+		Dist: func(q underlay.PeerID, target uint64) uint64 {
+			return uint64(d.ids[q]) ^ target
+		},
+		Candidates: func(q underlay.PeerID, target uint64) []underlay.PeerID {
+			return d.closest(q, NodeID(target), d.cfg.K, nil)
+		},
+		Learn: d.Observe,
+		OK: func(best underlay.PeerID, target uint64) bool {
+			return uint64(d.ids[best]) == d.space.ClosestXOR(target)
+		},
+	}
 	return d
 }
 
 // mix64 is the splitmix64 finalizer.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+func mix64(x uint64) uint64 { return megascale.Mix64(x) }
 
 // ID returns peer p's node id.
 func (d *CompactDHT) ID(p underlay.PeerID) NodeID { return d.ids[p] }
+
+// Name identifies the overlay (megascale.CompactOverlay).
+func (d *CompactDHT) Name() string { return "kademlia" }
 
 // bucketOf maps an XOR distance to a bucket slot: the top cfg.Buckets
 // distance bands in order, with everything nearer collapsed into slot 0.
@@ -120,13 +115,13 @@ func (d *CompactDHT) bucketOf(dist uint64) int {
 // their existing entries (classic Kademlia's preference for old, stable
 // contacts) — unless Aware is set and q is in p's AS while the bucket
 // holds a cross-AS entry, in which case the farthest-AS entry is
-// replaced: proximity neighbor selection at equal bucket correctness.
+// replaced (megascale.ReplaceCrossAS): proximity neighbor selection at
+// equal bucket correctness.
 func (d *CompactDHT) Observe(p, q underlay.PeerID) {
 	if p == q {
 		return
 	}
-	dist := Distance(d.ids[p], d.ids[q])
-	b := d.bucketOf(dist)
+	b := d.bucketOf(Distance(d.ids[p], d.ids[q]))
 	base := (int(p)*d.cfg.Buckets + b) * d.cfg.K
 	c := &d.cnt[int(p)*d.cfg.Buckets+b]
 	for i := 0; i < int(*c); i++ {
@@ -142,63 +137,22 @@ func (d *CompactDHT) Observe(p, q underlay.PeerID) {
 	if !d.cfg.Aware {
 		return
 	}
-	pt := d.net.Peers()
-	if pt.AS(q) != pt.AS(p) {
-		return
-	}
-	for i := 0; i < d.cfg.K; i++ {
-		if pt.AS(underlay.PeerID(d.rt[base+i])) != pt.AS(p) {
-			d.rt[base+i] = uint32(q)
-			return
-		}
+	if i := megascale.ReplaceCrossAS(d.net.Peers(), p, q, d.rt[base:base+d.cfg.K]); i >= 0 {
+		d.rt[base+i] = uint32(q)
 	}
 }
 
 // Seed populates every peer's table deterministically with contacts at
-// every distance scale: `fanout` pseudo-random peers, the `near`
-// successors AND predecessors on the sorted id ring, and finger links
-// at geometric rank offsets (±1, ±2, ±4, …). The geometry matters at
-// scale. Random contacts alone leave the best candidate ~n/table-size
-// ranks from any target, and a local-only ring cannot bridge that gap,
-// so lookups at 10⁵⁺ peers wander and stall far from the closest id;
-// geometric fingers put a contact in every XOR bucket band, restoring
-// O(log n) convergence. Ring links are bidirectional because the
-// XOR-closest peer is findable only through peers that know it. Call
+// every distance scale — megascale.IDSpace.SeedContacts (random fanout +
+// bidirectional ring links + geometric fingers) feeding Observe. Call
 // during single-threaded setup.
 func (d *CompactDHT) Seed(seed uint64, fanout, near int) {
-	n := len(d.ids)
-	// idx[i] is the peer whose id is sorted[i].
-	idx := d.peersByID()
-	rank := make([]int, n)
-	for i, p := range idx {
-		rank[p] = i
-	}
-	for p := 0; p < n; p++ {
-		for f := 0; f < fanout; f++ {
-			q := int(mix64(seed^uint64(p)<<20^uint64(f)) % uint64(n))
-			d.Observe(underlay.PeerID(p), underlay.PeerID(q))
-		}
-		for s := 1; s <= near; s++ {
-			d.Observe(underlay.PeerID(p), idx[(rank[p]+s)%n])
-			d.Observe(underlay.PeerID(p), idx[(rank[p]-s+n)%n])
-		}
-		for j := 0; 1<<j < n; j++ {
-			d.Observe(underlay.PeerID(p), idx[(rank[p]+1<<j)%n])
-			d.Observe(underlay.PeerID(p), idx[(rank[p]-1<<j%n+n)%n])
-		}
-	}
+	d.space.SeedContacts(seed, fanout, near, d.Observe)
 }
 
-// peersByID returns peer ids ordered by ascending node id.
-func (d *CompactDHT) peersByID() []underlay.PeerID {
-	n := len(d.ids)
-	idx := make([]underlay.PeerID, n)
-	for p := 0; p < n; p++ {
-		idx[p] = underlay.PeerID(p)
-	}
-	sort.Slice(idx, func(i, j int) bool { return d.ids[idx[i]] < d.ids[idx[j]] })
-	return idx
-}
+// Bootstrap implements megascale.CompactOverlay with the standard
+// megascale contact mix (fanout 20, ring ±4).
+func (d *CompactDHT) Bootstrap(seed uint64) { d.Seed(seed, 20, 4) }
 
 // closest gathers up to k contacts from p's table nearest to target,
 // deterministically (scan buckets outward from the target's, stable
@@ -236,33 +190,9 @@ func (d *CompactDHT) closest(p underlay.PeerID, target NodeID, k int, out []unde
 }
 
 // ClosestGlobal returns the peer id globally XOR-closest to target —
-// exact ground truth, computed by descending the implicit binary trie
-// over the sorted id list: at each bit, follow the branch matching the
-// target's bit if any id lives there, else the other branch. O(64 log n)
-// per query, no per-peer state.
+// exact ground truth via the id space's binary-trie descent.
 func (d *CompactDHT) ClosestGlobal(target NodeID) NodeID {
-	s := d.sorted
-	lo, hi := 0, len(s)
-	for bit := 63; bit >= 0 && hi-lo > 1; bit-- {
-		mask := uint64(1) << uint(bit)
-		// Ids in [lo,hi) share all bits above bit; mid splits the
-		// 0-branch [lo,mid) from the 1-branch [mid,hi).
-		mid := lo + sort.Search(hi-lo, func(i int) bool { return uint64(s[lo+i])&mask != 0 })
-		if uint64(target)&mask == 0 {
-			if mid > lo {
-				hi = mid
-			} else {
-				lo = mid
-			}
-		} else {
-			if mid < hi {
-				lo = mid
-			} else {
-				hi = mid
-			}
-		}
-	}
-	return s[lo]
+	return NodeID(d.space.ClosestXOR(uint64(target)))
 }
 
 // CompactResult reports one completed lookup.
@@ -277,141 +207,27 @@ type CompactResult struct {
 	Hops int
 }
 
-// lookupState is one in-flight iterative lookup; it lives on the origin
-// peer's shard and every mutation of it happens there.
-type lookupState struct {
-	d       *CompactDHT
-	origin  underlay.PeerID
-	target  NodeID
-	cand    []underlay.PeerID // candidates sorted by distance
-	queried map[underlay.PeerID]bool
-	inFly   int
-	hops    int
-	done    bool
-	onDone  func(CompactResult)
-}
-
 // Lookup starts an iterative α-parallel lookup for target from peer
 // origin. It must be invoked on origin's owning shard (schedule it
 // there). onDone, which may be nil, runs on origin's shard when the
 // lookup converges.
 func (d *CompactDHT) Lookup(origin underlay.PeerID, target NodeID, onDone func(CompactResult)) {
-	oshard := d.net.ShardOf(origin)
-	d.started[oshard]++
-	st := &lookupState{
-		d: d, origin: origin, target: target,
-		queried: make(map[underlay.PeerID]bool, 3*d.cfg.K),
-		onDone:  onDone,
+	var wrap func(megascale.Result)
+	if onDone != nil {
+		wrap = func(r megascale.Result) {
+			onDone(CompactResult{
+				Origin: r.Origin, Target: target,
+				Best: d.ids[r.Best], Exact: r.OK, Hops: r.Hops,
+			})
+		}
 	}
-	st.cand = d.closest(origin, target, d.cfg.K, nil)
-	st.step()
+	d.iter.Start(origin, uint64(target), wrap)
 }
 
-// step issues requests to the nearest unqueried candidates, up to Alpha
-// in flight. Runs on the origin's shard.
-func (st *lookupState) step() {
-	if st.done {
-		return
-	}
-	d := st.d
-	issued := false
-	for _, q := range st.cand {
-		if st.inFly >= d.cfg.Alpha {
-			break
-		}
-		if st.queried[q] {
-			continue
-		}
-		st.queried[q] = true
-		st.inFly++
-		st.hops++
-		issued = true
-		st.request(q)
-	}
-	if !issued && st.inFly == 0 {
-		st.finish()
-	}
-}
-
-// request sends one FIND_NODE to peer q: the request executes on q's
-// shard (the only place q's liveness and table may be read) and the
-// reply returns to the origin's shard through the transport.
-func (st *lookupState) request(q underlay.PeerID) {
-	d := st.d
-	origin, target := st.origin, st.target
-	d.net.Send(origin, q, d.reqClass, d.cfg.RPCBytes, func() {
-		// On q's shard now.
-		var found []underlay.PeerID
-		alive := d.net.Peers().Up(q)
-		if alive {
-			found = d.closest(q, target, d.cfg.K, nil)
-		}
-		// Reply (or a zero-byte "timeout" nack after the same RTT when q
-		// is down — a dead peer costs the lookup one round trip).
-		bytes := d.cfg.RPCBytes
-		if !alive {
-			bytes = 0
-		}
-		d.net.Send(q, origin, d.repClass, bytes, func() {
-			// Back on origin's shard.
-			st.inFly--
-			if alive {
-				for _, c := range found {
-					d.Observe(origin, c)
-					st.insert(c)
-				}
-			}
-			st.step()
-		})
-	})
-}
-
-// insert merges candidate c into the sorted working set, keeping the
-// nearest K.
-func (st *lookupState) insert(c underlay.PeerID) {
-	d := st.d
-	dc := Distance(d.ids[c], st.target)
-	for _, e := range st.cand {
-		if e == c {
-			return
-		}
-	}
-	i := sort.Search(len(st.cand), func(i int) bool {
-		de := Distance(d.ids[st.cand[i]], st.target)
-		if de != dc {
-			return de > dc
-		}
-		return st.cand[i] >= c
-	})
-	st.cand = append(st.cand, 0)
-	copy(st.cand[i+1:], st.cand[i:])
-	st.cand[i] = c
-	if len(st.cand) > 3*d.cfg.K {
-		st.cand = st.cand[:3*d.cfg.K]
-	}
-}
-
-// finish completes the lookup on the origin's shard.
-func (st *lookupState) finish() {
-	st.done = true
-	d := st.d
-	oshard := d.net.ShardOf(st.origin)
-	d.done[oshard]++
-	d.hops[oshard] += uint64(st.hops)
-	best := d.ids[st.origin]
-	if len(st.cand) > 0 {
-		best = d.ids[st.cand[0]]
-	}
-	res := CompactResult{
-		Origin: st.origin, Target: st.target, Best: best,
-		Exact: best == d.ClosestGlobal(st.target), Hops: st.hops,
-	}
-	if res.Exact {
-		d.ok[oshard]++
-	}
-	if st.onDone != nil {
-		st.onDone(res)
-	}
+// Query implements megascale.CompactOverlay: one lookup for a
+// pseudo-random target derived from the per-request seed.
+func (d *CompactDHT) Query(origin underlay.PeerID, seed uint64, onDone func(megascale.Result)) {
+	d.iter.Start(origin, megascale.Mix64(seed), onDone)
 }
 
 // CompactStats aggregates lookup counters across shards. Safe at barriers
@@ -440,23 +256,13 @@ func (s CompactStats) MeanHops() float64 {
 
 // Stats aggregates the per-shard lookup counters.
 func (d *CompactDHT) Stats() CompactStats {
-	var s CompactStats
-	for i := range d.started {
-		s.Started += d.started[i]
-		s.Done += d.done[i]
-		s.Exact += d.ok[i]
-		s.Hops += d.hops[i]
-	}
-	return s
+	s := d.ctr.Stats()
+	return CompactStats{Started: s.Started, Done: s.Done, Exact: s.OK, Hops: s.Hops}
 }
 
+// MegaStats aggregates the shared runtime counters
+// (megascale.CompactOverlay).
+func (d *CompactDHT) MegaStats() megascale.Stats { return d.ctr.Stats() }
+
 // HealthStats exposes lookup health for telemetry sampling at barriers.
-func (d *CompactDHT) HealthStats() map[string]float64 {
-	s := d.Stats()
-	return map[string]float64{
-		"lookups_started": float64(s.Started),
-		"lookups_done":    float64(s.Done),
-		"success_rate":    s.SuccessRate(),
-		"mean_hops":       s.MeanHops(),
-	}
-}
+func (d *CompactDHT) HealthStats() map[string]float64 { return d.ctr.Health() }

@@ -55,6 +55,25 @@ func NewShardedNet(u *underlay.Network, pt *underlay.PeerTable, part *underlay.P
 	return n
 }
 
+// RegisterClass appends a message class (e.g. "kad:req") and returns its
+// index for Send. Each overlay port registers its own classes so a
+// multi-overlay run keeps per-overlay traffic accounting. Call during
+// single-threaded setup only — it grows every shard's lane.
+func (n *ShardedNet) RegisterClass(name string) int {
+	for i, have := range n.names {
+		if have == name {
+			return i
+		}
+	}
+	n.names = append(n.names, name)
+	for _, l := range n.lanes {
+		l.Msgs = append(l.Msgs, 0)
+		l.Bytes = append(l.Bytes, 0)
+		l.IntraASBytes = append(l.IntraASBytes, 0)
+	}
+	return len(n.names) - 1
+}
+
 // Peers returns the peer table the net routes between.
 func (n *ShardedNet) Peers() *underlay.PeerTable { return n.pt }
 

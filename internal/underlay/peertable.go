@@ -134,9 +134,18 @@ func (p *Partition) ShardOf(pt *PeerTable, id PeerID) int {
 // the partition boundary is the AS boundary, which is also where
 // cross-peer latency has its AS-delay floor (the sharded kernel's
 // lookahead).
+//
+// The requested shard count is a hint, clamped to [1, numASes]: an AS is
+// the smallest ownership unit, so more shards than ASes would leave
+// permanently empty shards (and a zero cross-shard latency floor), and a
+// non-positive request means "don't shard". Callers must size the kernel
+// from the returned Partition's NumShards, not the request.
 func PartitionASes(numASes int, weight func(as int) int, shards int) *Partition {
 	if shards < 1 {
-		panic("underlay: PartitionASes needs ≥ 1 shard")
+		shards = 1
+	}
+	if numASes >= 1 && shards > numASes {
+		shards = numASes
 	}
 	p := &Partition{shardOfAS: make([]int32, numASes), shards: shards}
 	if shards == 1 {
@@ -172,8 +181,14 @@ func PartitionASes(numASes int, weight func(as int) int, shards int) *Partition 
 // lookahead bound for the sharded kernel's epoch window. It scans AS
 // pairs in different shards and combines the routed AS delay with each
 // side's halved intra-AS delay and the smallest access delay of any peer
-// in that AS. Returns 0 if the table is empty or no pair crosses shards
-// (K=1); callers should treat 0 as "pick any window".
+// in that AS.
+//
+// Fallback contract: it returns 0 whenever no event can ever cross a
+// shard boundary — an empty table, a single AS, a single-shard
+// partition, or unroutable cross-shard AS pairs. Zero is not a valid
+// epoch window; callers must substitute a positive default (any value
+// works, since with no cross-shard traffic the window only sets barrier
+// granularity). Every in-tree caller uses `if window <= 0 { window = …}`.
 func MinCrossShardLatency(pt *PeerTable, p *Partition) sim.Duration {
 	nAS := pt.net.NumASes()
 	// Cheapest access link per AS; ASes without peers never source events.

@@ -115,3 +115,59 @@ func TestMinCrossShardLatency(t *testing.T) {
 		t.Fatalf("K=1 bound = %v, want 0", one)
 	}
 }
+
+// TestPartitionASesClamped pins the shard-count clamp: the request is a
+// hint bounded by the AS count (an AS is the smallest ownership unit)
+// and floored at one shard.
+func TestPartitionASesClamped(t *testing.T) {
+	weights := []int{3, 2, 1}
+	// More shards than ASes: clamp to one shard per AS, every shard used.
+	over := PartitionASes(len(weights), func(as int) int { return weights[as] }, 16)
+	if over.NumShards() != len(weights) {
+		t.Fatalf("shards > ASes: NumShards %d, want %d", over.NumShards(), len(weights))
+	}
+	used := map[int]bool{}
+	for as := range weights {
+		used[over.ShardOfAS(as)] = true
+	}
+	if len(used) != len(weights) {
+		t.Fatalf("clamped partition left empty shards: %v", used)
+	}
+	// Non-positive request degenerates to a single shard, not a panic.
+	for _, k := range []int{0, -3} {
+		p := PartitionASes(len(weights), func(as int) int { return weights[as] }, k)
+		if p.NumShards() != 1 || p.ShardOfAS(2) != 0 {
+			t.Fatalf("K=%d: want single-shard fallback, got %d shards", k, p.NumShards())
+		}
+	}
+	// Single AS: everything collapses onto one shard regardless of request.
+	single := PartitionASes(1, func(int) int { return 42 }, 8)
+	if single.NumShards() != 1 || single.ShardOfAS(0) != 0 {
+		t.Fatalf("single AS: want 1 shard, got %d", single.NumShards())
+	}
+	// Zero ASes (empty network): no panic, request floors at 1.
+	empty := PartitionASes(0, func(int) int { return 0 }, 4)
+	if empty.NumShards() < 1 {
+		t.Fatalf("empty network: NumShards %d", empty.NumShards())
+	}
+}
+
+// TestMinCrossShardLatencyDegenerate pins the documented 0-fallbacks: an
+// empty peer table and a single populated AS have no crossing pairs.
+func TestMinCrossShardLatencyDegenerate(t *testing.T) {
+	n := buildStar(t)
+	// Empty table: nothing can cross.
+	empty := NewPeerTable(n, 0)
+	part := PartitionASes(n.NumASes(), func(int) int { return 1 }, 2)
+	if got := MinCrossShardLatency(empty, part); got != 0 {
+		t.Fatalf("empty table bound = %v, want 0", got)
+	}
+	// Peers in a single AS: the AS is one ownership unit, so even a
+	// multi-shard partition of the network yields no crossing peers.
+	one := NewPeerTable(n, 4)
+	one.AddPeer(1, 5)
+	one.AddPeer(1, 6)
+	if got := MinCrossShardLatency(one, part); got != 0 {
+		t.Fatalf("single-AS bound = %v, want 0", got)
+	}
+}
