@@ -4,17 +4,18 @@ GO ?= go
 # for publication-quality numbers.
 BENCHTIME ?= 100ms
 
-.PHONY: ci vet build test race bench bench-json perf-gate cover series-demo chaos fuzz-smoke megascale-smoke
+.PHONY: ci vet build test race bench bench-json perf-gate cover series-demo chaos fuzz-smoke megascale-smoke net-smoke
 
 # ci is the full verification gate: static analysis, a clean build of
 # every package, the test suite under the race detector, the chaos
-# suite, fuzz smokes of the schedule parser and the XOR ground-truth
-# trie, an end-to-end smoke of the probe plane (record → sample →
-# series), a mid-size sharded-kernel run of all three compact overlays
-# under race, and the perf gate (fails on >15% ns/op or allocs/op
-# regression against the baseline snapshot). The coverage summary runs
-# afterwards as a non-fatal reporting step.
-ci: vet build race chaos fuzz-smoke series-demo megascale-smoke perf-gate
+# suite, fuzz smokes of the schedule parser, the XOR ground-truth trie
+# and the real-socket wire codec, an end-to-end smoke of the probe
+# plane (record → sample → series), a mid-size sharded-kernel run of
+# all three compact overlays under race, a live multi-process cluster
+# smoke over localhost UDP, and the perf gate (fails on >15% ns/op or
+# allocs/op regression against the baseline snapshot). The coverage
+# summary runs afterwards as a non-fatal reporting step.
+ci: vet build race chaos fuzz-smoke series-demo megascale-smoke net-smoke perf-gate
 	-$(MAKE) cover
 
 vet:
@@ -37,7 +38,7 @@ bench:
 # bench-json snapshots the benchmark suite into a stable JSON artifact
 # so later PRs can diff ns/op against this one. -count=6 gives the
 # averaging in bench-import something to chew on.
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_CI.json
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchtime=$(BENCHTIME) -benchmem -count=6 ./... \
 		| $(GO) run ./cmd/unapctl bench-import -o $(BENCH_JSON)
@@ -47,7 +48,15 @@ bench-json:
 # the baseline and the fresh snapshot regressed ns/op or allocs/op by
 # more than PERF_THRESHOLD. Benchmarks that exist on only one side are
 # reported but never gate.
-BENCH_BASELINE ?= BENCH_PR6.json
+#
+# The baseline was re-anchored at BENCH_PR8.json when the metrics
+# planes (CounterSet/Histogram/TrafficMatrix) became race-safe for the
+# real-socket transport: the atomic read-modify-writes cost 20–70% on
+# the accounting micro-benches (measured on this machine, documented in
+# DESIGN.md), a price paid deliberately so live /metrics scraping reads
+# consistent values. The megascale 1M-peer paths bypass the metrics
+# package entirely and are unaffected.
+BENCH_BASELINE ?= BENCH_PR8.json
 PERF_THRESHOLD ?= 0.15
 perf-gate:
 	$(MAKE) bench-json
@@ -69,12 +78,27 @@ chaos:
 
 # fuzz-smoke gives the fuzz targets a short budget each — enough to
 # catch regressions in CI without the open-ended runtime of a real
-# fuzzing campaign: the chaos schedule parser, and the binary-trie XOR
+# fuzzing campaign: the chaos schedule parser, the binary-trie XOR
 # ground truth every megascale exactness figure rests on (cross-checked
-# against a naive scan).
+# against a naive scan), and the nettransport wire codec (arbitrary
+# datagrams must never panic the receive loop).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSchedule -fuzztime=10s ./internal/chaos/
 	$(GO) test -run='^$$' -fuzz=FuzzClosestGlobal -fuzztime=10s ./internal/megascale/
+	$(GO) test -run='^$$' -fuzz=FuzzWireCodec -fuzztime=10s ./internal/nettransport/
+
+# net-smoke boots a real multi-process cluster per overlay: 5 unapnode
+# OS processes on localhost UDP ports, joined through a bootstrap, each
+# running 100 verified lookups against the deterministic NodeKey ground
+# truth with a 95% success floor, then shut down with SIGTERM. This is
+# the live counterpart of megascale-smoke: same overlays, real sockets.
+NETSMOKE_NODES ?= 5
+NETSMOKE_LOOKUPS ?= 100
+net-smoke:
+	UNAP_NETSMOKE_OVERLAYS=kademlia,chord,gnutella \
+	UNAP_NETSMOKE_NODES=$(NETSMOKE_NODES) \
+	UNAP_NETSMOKE_LOOKUPS=$(NETSMOKE_LOOKUPS) \
+		$(GO) test -race -count=1 -run 'TestNetSmoke' -v ./internal/integration/
 
 # megascale-smoke runs the sharded kernel at CI-sized scale — ~50k
 # peers with churn, all three compact overlays (kademlia, chord,

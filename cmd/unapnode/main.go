@@ -1,0 +1,124 @@
+// Command unapnode runs one live overlay node: the real-socket
+// counterpart of the simulated peers, speaking the nettransport wire
+// protocol over UDP. A cluster is N unapnode processes — start one as
+// the bootstrap, point the rest at it, and watch the failure detector's
+// resilience:* counters on /metrics react when you kill one.
+//
+// Usage:
+//
+//	unapnode -id 0 -listen 127.0.0.1:9000 -overlay kademlia -metrics 127.0.0.1:9100
+//	unapnode -id 1 -listen 127.0.0.1:9001 -overlay kademlia -bootstrap 127.0.0.1:9000
+//
+// With -lookups N the node runs N verified lookups after the cluster
+// reaches -expect members, prints "lookups ok=X/N", and (with -oneshot)
+// exits — the mode `make net-smoke` drives. Without -oneshot the node
+// runs until SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"unap2p/internal/livenode"
+	"unap2p/internal/underlay"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", 0, "cluster-wide node id (unique per process)")
+		listen    = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		overlay   = flag.String("overlay", "kademlia", "overlay engine: kademlia, chord or gnutella")
+		bootstrap = flag.String("bootstrap", "", "bootstrap node UDP address (empty: this node seeds the cluster)")
+		metrics   = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9100)")
+		ping      = flag.Duration("ping", 500*time.Millisecond, "failure-detector ping interval")
+		timeout   = flag.Duration("timeout", 250*time.Millisecond, "per-RPC deadline")
+		expect    = flag.Int("expect", 0, "wait for this many cluster members before running lookups")
+		lookups   = flag.Int("lookups", 0, "run this many verified lookups once the cluster converges")
+		oneshot   = flag.Bool("oneshot", false, "exit after the lookup run instead of serving forever")
+		verbose   = flag.Bool("v", false, "log transport diagnostics to stderr")
+	)
+	flag.Parse()
+
+	cfg := livenode.Config{
+		ID:           underlay.HostID(*id),
+		Overlay:      *overlay,
+		Listen:       *listen,
+		MetricsAddr:  *metrics,
+		Timeout:      *timeout,
+		PingInterval: *ping,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	node, err := livenode.Start(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	defer node.Close()
+
+	fmt.Printf("unapnode id=%d overlay=%s listening on %s\n",
+		*id, *overlay, node.Net().LocalAddr())
+	if addr := node.MetricsAddr(); addr != "" {
+		fmt.Printf("unapnode id=%d metrics on http://%s/metrics\n", *id, addr)
+	}
+	if *bootstrap != "" {
+		if err := node.Join(*bootstrap); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("unapnode id=%d joined via %s, knows %d peers\n",
+			*id, *bootstrap, node.Peers())
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	if *lookups > 0 {
+		if !awaitMembers(node, *expect, sigc) {
+			return // interrupted while waiting
+		}
+		ok := node.RunLookups(*lookups)
+		fmt.Printf("unapnode id=%d lookups ok=%d/%d\n", *id, ok, *lookups)
+		if *oneshot {
+			if ok*100 < *lookups*95 {
+				os.Exit(2) // below the smoke-test success floor
+			}
+			return
+		}
+	}
+
+	sig := <-sigc
+	fmt.Printf("unapnode id=%d shutting down (%v)\n", *id, sig)
+}
+
+// awaitMembers blocks until the address book holds want members (or
+// forever-known ones if want is 0, returning immediately). It reports
+// false when a shutdown signal arrived first.
+func awaitMembers(node *livenode.Node, want int, sigc <-chan os.Signal) bool {
+	if want <= 0 {
+		return true
+	}
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	deadline := time.After(30 * time.Second)
+	for {
+		if node.Peers() >= want {
+			return true
+		}
+		select {
+		case <-tick.C:
+		case <-deadline:
+			fmt.Fprintf(os.Stderr, "error: cluster stuck at %d/%d members\n", node.Peers(), want)
+			os.Exit(1)
+		case <-sigc:
+			return false
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package integration
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestNetSmoke is the live-cluster acceptance test: it builds the
+// unapnode binary and boots a real multi-process cluster on localhost
+// UDP ports for each overlay — separate OS processes, real datagrams,
+// nothing shared but the wire protocol. Every process runs verified
+// lookups and must clear the 95% success floor; the run ends with a
+// clean SIGTERM shutdown of the whole cluster.
+//
+// Tunables (the `make net-smoke` target raises them to the ISSUE
+// acceptance shape — three overlays, 100 lookups per process):
+//
+//	UNAP_NETSMOKE_OVERLAYS   comma list (default "kademlia,chord")
+//	UNAP_NETSMOKE_NODES      cluster size          (default 5)
+//	UNAP_NETSMOKE_LOOKUPS    lookups per process   (default 20)
+func TestNetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster: skipped in -short mode")
+	}
+	overlays := strings.Split(envOr("UNAP_NETSMOKE_OVERLAYS", "kademlia,chord"), ",")
+	nodes := envInt(t, "UNAP_NETSMOKE_NODES", 5)
+	lookups := envInt(t, "UNAP_NETSMOKE_LOOKUPS", 20)
+
+	bin := filepath.Join(t.TempDir(), "unapnode")
+	build := exec.Command("go", "build", "-o", bin, "unap2p/cmd/unapnode")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build unapnode: %v\n%s", err, out)
+	}
+
+	for _, overlay := range overlays {
+		overlay = strings.TrimSpace(overlay)
+		t.Run(overlay, func(t *testing.T) {
+			runSmokeCluster(t, bin, overlay, nodes, lookups)
+		})
+	}
+}
+
+var lookupsRe = regexp.MustCompile(`lookups ok=(\d+)/(\d+)`)
+
+func runSmokeCluster(t *testing.T, bin, overlay string, nodes, lookups int) {
+	// The bootstrap (id 0) binds an ephemeral port and prints it; the
+	// rest of the cluster is pointed at that address.
+	procs := make([]*exec.Cmd, nodes)
+	outputs := make([]*strings.Builder, nodes)
+	var outMu sync.Mutex
+	lines := make(chan string, 64)
+
+	startNode := func(i int, bootstrap string) {
+		args := []string{
+			"-id", strconv.Itoa(i),
+			"-listen", "127.0.0.1:0",
+			"-overlay", overlay,
+			"-ping", "100ms",
+			"-timeout", "150ms",
+			"-expect", strconv.Itoa(nodes),
+			"-lookups", strconv.Itoa(lookups),
+		}
+		if bootstrap != "" {
+			args = append(args, "-bootstrap", bootstrap)
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		procs[i] = cmd
+		outputs[i] = &strings.Builder{}
+		go func(i int) {
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				line := sc.Text()
+				outMu.Lock()
+				fmt.Fprintln(outputs[i], line)
+				outMu.Unlock()
+				lines <- line
+			}
+		}(i)
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	}()
+
+	startNode(0, "")
+	bootstrap := awaitLine(t, lines, regexp.MustCompile(`listening on (\S+)`), 10*time.Second)
+	for i := 1; i < nodes; i++ {
+		startNode(i, bootstrap)
+	}
+
+	// Every process prints its lookup result once the cluster converges.
+	okTotal, total := 0, 0
+	deadline := time.After(60 * time.Second)
+	for got := 0; got < nodes; {
+		select {
+		case line := <-lines:
+			if m := lookupsRe.FindStringSubmatch(line); m != nil {
+				ok, _ := strconv.Atoi(m[1])
+				n, _ := strconv.Atoi(m[2])
+				okTotal += ok
+				total += n
+				got++
+			}
+		case <-deadline:
+			t.Fatalf("%s: only %d/%d processes reported lookups; outputs:\n%s",
+				overlay, countReports(&outMu, outputs), nodes, dumpOutputs(&outMu, outputs))
+		}
+	}
+	if floor := total * 95 / 100; okTotal < floor {
+		t.Fatalf("%s: %d/%d lookups verified across the cluster, floor %d",
+			overlay, okTotal, total, floor)
+	}
+	t.Logf("%s: %d/%d lookups verified across %d processes", overlay, okTotal, total, nodes)
+
+	// Clean shutdown: SIGTERM everyone and require a zero-ish exit (the
+	// daemon prints "shutting down" and returns from main).
+	for _, p := range procs {
+		p.Process.Signal(syscall.SIGTERM)
+	}
+	for i, p := range procs {
+		done := make(chan error, 1)
+		go func() { done <- p.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("node %d did not exit cleanly on SIGTERM: %v\n%s",
+					i, err, dumpOutputs(&outMu, outputs[i:i+1]))
+			}
+		case <-time.After(10 * time.Second):
+			p.Process.Kill()
+			t.Errorf("node %d ignored SIGTERM", i)
+		}
+		procs[i] = nil
+	}
+}
+
+func awaitLine(t *testing.T, lines <-chan string, re *regexp.Regexp, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line := <-lines:
+			if m := re.FindStringSubmatch(line); m != nil {
+				return m[1]
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %v", re)
+		}
+	}
+}
+
+func countReports(mu *sync.Mutex, outputs []*strings.Builder) int {
+	mu.Lock()
+	defer mu.Unlock()
+	n := 0
+	for _, o := range outputs {
+		if o != nil && lookupsRe.MatchString(o.String()) {
+			n++
+		}
+	}
+	return n
+}
+
+func dumpOutputs(mu *sync.Mutex, outputs []*strings.Builder) string {
+	mu.Lock()
+	defer mu.Unlock()
+	var b strings.Builder
+	for i, o := range outputs {
+		if o == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "--- node %d ---\n%s", i, o.String())
+	}
+	return b.String()
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func envInt(t *testing.T, key string, def int) int {
+	t.Helper()
+	v := os.Getenv(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		t.Fatalf("%s=%q is not an integer", key, v)
+	}
+	return n
+}

@@ -1,6 +1,9 @@
 package metrics
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // This file holds the export surface of the metrics package: frozen,
 // JSON-serializable snapshots of the live accumulators (CounterSet,
@@ -12,9 +15,10 @@ import "sort"
 // Snapshot returns a frozen name → value view of every counter in the
 // set, in no particular storage order (maps compare by content).
 func (s *CounterSet) Snapshot() map[string]uint64 {
-	out := make(map[string]uint64, len(s.counters))
-	for name, c := range s.counters {
-		out[name] = c.n
+	m := *s.m.Load()
+	out := make(map[string]uint64, len(m))
+	for name, c := range m {
+		out[name] = c.Value()
 	}
 	return out
 }
@@ -31,16 +35,20 @@ type HistogramSnapshot struct {
 	Max    float64   `json:"max"`
 }
 
-// Snapshot freezes the histogram's current state.
+// Snapshot freezes the histogram's current state. Under concurrent
+// writers the count vector is copied atomically and N is derived from
+// that copy, so a snapshot is always internally consistent (Sum may
+// trail the counts by in-flight observations).
 func (h *Histogram) Snapshot() HistogramSnapshot {
+	counts, n := h.loadCounts()
 	s := HistogramSnapshot{
 		Bounds: h.Bounds(),
-		Counts: h.Counts(),
-		N:      h.n,
-		Sum:    h.sum,
+		Counts: counts,
+		N:      n,
+		Sum:    h.Sum(),
 	}
-	if h.n > 0 {
-		s.Min, s.Max = h.min, h.max
+	if n > 0 {
+		s.Min, s.Max = h.Min(), h.Max()
 	}
 	return s
 }
@@ -51,10 +59,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 func HistogramFromSnapshot(s HistogramSnapshot) *Histogram {
 	h := NewHistogram(s.Bounds)
 	copy(h.counts, s.Counts)
-	h.n = s.N
-	h.sum = s.Sum
+	h.sum.Store(math.Float64bits(s.Sum))
 	if s.N > 0 {
-		h.min, h.max = s.Min, s.Max
+		h.min.Store(math.Float64bits(s.Min))
+		h.max.Store(math.Float64bits(s.Max))
 	}
 	return h
 }
@@ -100,9 +108,9 @@ func (s MatrixSnapshot) IntraFraction() float64 {
 
 // Snapshot freezes the matrix, cells sorted by (src, dst).
 func (m *TrafficMatrix) Snapshot() MatrixSnapshot {
-	s := MatrixSnapshot{Total: m.total, Intra: m.intra}
+	s := MatrixSnapshot{Total: m.Total(), Intra: m.Intra()}
 	for _, p := range m.Pairs() {
-		s.Pairs = append(s.Pairs, PairBytes{Src: p.Src, Dst: p.Dst, Bytes: m.bytes[p]})
+		s.Pairs = append(s.Pairs, PairBytes{Src: p.Src, Dst: p.Dst, Bytes: m.Pair(p.Src, p.Dst)})
 	}
 	return s
 }

@@ -1,69 +1,98 @@
 // Package metrics collects the measurements the unap2p experiments report:
 // message counters, latency distributions, AS-pair traffic matrices, and
 // overlay-clustering statistics used to quantify "locality of traffic".
+//
+// Counter, CounterSet, Histogram, and TrafficMatrix are safe for
+// concurrent use: the simulation writes them from its single kernel
+// goroutine, but the real-socket transport (internal/nettransport)
+// updates them from its receive loop while telemetry.Serve scrapes them
+// live, so every accumulator takes either an atomic or a mutex fast
+// path. Dist retains raw samples and stays single-goroutine (it is an
+// experiment-side aggregator, never written from a receive loop).
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
-// Counter is a named monotone event counter.
+// Counter is a named monotone event counter, safe for concurrent use.
 type Counter struct {
 	name string
-	n    uint64
+	n    atomic.Uint64
 }
 
 // NewCounter returns a counter with the given name.
 func NewCounter(name string) *Counter { return &Counter{name: name} }
 
 // Add increments the counter by d (d may be > 1 for batched events).
-func (c *Counter) Add(d uint64) { c.n += d }
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n }
+func (c *Counter) Value() uint64 { return c.n.Load() }
 
 // Name returns the counter's name.
 func (c *Counter) Name() string { return c.name }
 
-func (c *Counter) String() string { return fmt.Sprintf("%s=%d", c.name, c.n) }
+func (c *Counter) String() string { return fmt.Sprintf("%s=%d", c.name, c.n.Load()) }
 
-// CounterSet groups named counters, creating them on first use.
+// CounterSet groups named counters, creating them on first use. Reads
+// (the per-message Get on the transport send path) go through an atomic
+// copy-on-write map and cost the same as a plain map lookup; only the
+// first touch of a new name takes the write lock and clones the map.
 type CounterSet struct {
-	counters map[string]*Counter
+	mu sync.Mutex // serializes map replacement on first-touch creation
+	m  atomic.Pointer[map[string]*Counter]
 }
 
 // NewCounterSet returns an empty set.
 func NewCounterSet() *CounterSet {
-	return &CounterSet{counters: make(map[string]*Counter)}
+	s := &CounterSet{}
+	m := make(map[string]*Counter)
+	s.m.Store(&m)
+	return s
 }
 
 // Get returns the counter with the given name, creating it at zero.
 func (s *CounterSet) Get(name string) *Counter {
-	c, ok := s.counters[name]
-	if !ok {
-		c = NewCounter(name)
-		s.counters[name] = c
+	if c, ok := (*s.m.Load())[name]; ok {
+		return c
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := *s.m.Load()
+	if c, ok := cur[name]; ok { // lost the creation race
+		return c
+	}
+	next := make(map[string]*Counter, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	c := NewCounter(name)
+	next[name] = c
+	s.m.Store(&next)
 	return c
 }
 
 // Value returns the count for name (zero if never touched).
 func (s *CounterSet) Value(name string) uint64 {
-	if c, ok := s.counters[name]; ok {
-		return c.n
+	if c, ok := (*s.m.Load())[name]; ok {
+		return c.Value()
 	}
 	return 0
 }
 
 // Names returns all counter names in sorted order.
 func (s *CounterSet) Names() []string {
-	names := make([]string, 0, len(s.counters))
-	for n := range s.counters {
+	m := *s.m.Load()
+	names := make([]string, 0, len(m))
+	for n := range m {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -72,7 +101,8 @@ func (s *CounterSet) Names() []string {
 
 // Dist accumulates a sample distribution with exact quantiles. Experiments
 // are small enough (≤ a few million samples) that keeping the samples and
-// sorting on demand is both simplest and exact.
+// sorting on demand is both simplest and exact. Unlike the fixed-footprint
+// accumulators above, Dist is not goroutine-safe.
 type Dist struct {
 	samples []float64
 	sorted  bool

@@ -3,6 +3,8 @@ package metrics
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // ASPair is a directed (source AS, destination AS) pair.
@@ -13,52 +15,90 @@ type ASPair struct {
 // TrafficMatrix accumulates bytes exchanged between AS pairs. It is the
 // core locality measurement: the intra-AS fraction of this matrix is the
 // number every biased-neighbor-selection experiment in the paper reports.
+//
+// A TrafficMatrix is safe for concurrent use. Like CounterSet, the cell
+// index is an atomic copy-on-write map — the per-message Add is a plain
+// map lookup plus atomic adds, and only the first touch of a new AS pair
+// takes the write lock and clones the index. This matters because the
+// underlay charges every single Send into its Traffic matrix.
 type TrafficMatrix struct {
-	bytes map[ASPair]uint64
-	total uint64
-	intra uint64
+	mu    sync.Mutex // serializes index replacement on first-touch creation
+	cells atomic.Pointer[map[ASPair]*atomic.Uint64]
+	total atomic.Uint64
+	intra atomic.Uint64
 }
 
 // NewTrafficMatrix returns an empty matrix.
 func NewTrafficMatrix() *TrafficMatrix {
-	return &TrafficMatrix{bytes: make(map[ASPair]uint64)}
+	m := &TrafficMatrix{}
+	cells := make(map[ASPair]*atomic.Uint64)
+	m.cells.Store(&cells)
+	return m
+}
+
+// cell returns the accumulator for p, creating it on first use.
+func (m *TrafficMatrix) cell(p ASPair) *atomic.Uint64 {
+	if c, ok := (*m.cells.Load())[p]; ok {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := *m.cells.Load()
+	if c, ok := cur[p]; ok { // lost the creation race
+		return c
+	}
+	next := make(map[ASPair]*atomic.Uint64, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	c := new(atomic.Uint64)
+	next[p] = c
+	m.cells.Store(&next)
+	return c
 }
 
 // Add records n bytes flowing from AS src to AS dst.
 func (m *TrafficMatrix) Add(src, dst int, n uint64) {
-	m.bytes[ASPair{src, dst}] += n
-	m.total += n
+	m.cell(ASPair{src, dst}).Add(n)
+	m.total.Add(n)
 	if src == dst {
-		m.intra += n
+		m.intra.Add(n)
 	}
 }
 
 // Total returns all bytes recorded.
-func (m *TrafficMatrix) Total() uint64 { return m.total }
+func (m *TrafficMatrix) Total() uint64 { return m.total.Load() }
 
 // Intra returns bytes whose source and destination AS coincide.
-func (m *TrafficMatrix) Intra() uint64 { return m.intra }
+func (m *TrafficMatrix) Intra() uint64 { return m.intra.Load() }
 
 // Inter returns bytes that crossed an AS boundary.
-func (m *TrafficMatrix) Inter() uint64 { return m.total - m.intra }
+func (m *TrafficMatrix) Inter() uint64 { return m.total.Load() - m.intra.Load() }
 
 // IntraFraction returns the intra-AS share of traffic in [0,1]
 // (0 for an empty matrix).
 func (m *TrafficMatrix) IntraFraction() float64 {
-	if m.total == 0 {
+	total := m.total.Load()
+	if total == 0 {
 		return 0
 	}
-	return float64(m.intra) / float64(m.total)
+	return float64(m.intra.Load()) / float64(total)
 }
 
 // Pair returns the bytes recorded for a specific AS pair.
-func (m *TrafficMatrix) Pair(src, dst int) uint64 { return m.bytes[ASPair{src, dst}] }
+func (m *TrafficMatrix) Pair(src, dst int) uint64 {
+	if c, ok := (*m.cells.Load())[ASPair{src, dst}]; ok {
+		return c.Load()
+	}
+	return 0
+}
 
 // Pairs returns all pairs with non-zero traffic, sorted for deterministic
 // iteration.
 func (m *TrafficMatrix) Pairs() []ASPair {
-	ps := make([]ASPair, 0, len(m.bytes))
-	for p := range m.bytes {
+	cells := *m.cells.Load()
+	ps := make([]ASPair, 0, len(cells))
+	for p := range cells {
 		ps = append(ps, p)
 	}
 	sort.Slice(ps, func(i, j int) bool {
@@ -71,15 +111,17 @@ func (m *TrafficMatrix) Pairs() []ASPair {
 }
 
 func (m *TrafficMatrix) String() string {
-	return fmt.Sprintf("traffic total=%dB intra=%.1f%%", m.total, 100*m.IntraFraction())
+	return fmt.Sprintf("traffic total=%dB intra=%.1f%%", m.Total(), 100*m.IntraFraction())
 }
 
 // Conservation checks the bookkeeping invariant intra+inter == total.
-// It exists for property tests.
+// It exists for property tests (which run it on quiescent matrices; with
+// writers in flight the cell sum may transiently trail total).
 func (m *TrafficMatrix) Conservation() bool {
 	var sum uint64
-	for _, b := range m.bytes {
-		sum += b
+	cells := *m.cells.Load()
+	for _, c := range cells {
+		sum += c.Load()
 	}
-	return sum == m.total && m.intra <= m.total
+	return sum == m.total.Load() && m.intra.Load() <= m.total.Load()
 }

@@ -1,0 +1,172 @@
+package nettransport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"unap2p/internal/underlay"
+)
+
+// AddressBook maps cluster-wide host ids to UDP addresses — the live
+// counterpart of the simulated underlay's host table. It is written
+// concurrently by the join handshake and the receive loop (which learns
+// sender addresses) and read on every send, so access is guarded by a
+// read-write mutex; the entry set is tiny (one per peer), making
+// contention irrelevant next to the socket syscalls around it.
+type AddressBook struct {
+	mu      sync.RWMutex
+	addrs   map[underlay.HostID]*net.UDPAddr
+	version uint64 // bumped on every change; Version lets tests await convergence
+}
+
+// NewAddressBook returns an empty book.
+func NewAddressBook() *AddressBook {
+	return &AddressBook{addrs: make(map[underlay.HostID]*net.UDPAddr)}
+}
+
+// Set records (or replaces) the address for id, reporting whether the
+// entry changed. Last write wins: a peer that rebinds (NAT, restart)
+// overwrites its stale entry the moment any frame arrives from it.
+func (b *AddressBook) Set(id underlay.HostID, addr *net.UDPAddr) bool {
+	if addr == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if old, ok := b.addrs[id]; ok && old.IP.Equal(addr.IP) && old.Port == addr.Port {
+		return false
+	}
+	b.addrs[id] = addr
+	b.version++
+	return true
+}
+
+// Remove drops the entry for id (after an eviction), reporting whether
+// it existed.
+func (b *AddressBook) Remove(id underlay.HostID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.addrs[id]; !ok {
+		return false
+	}
+	delete(b.addrs, id)
+	b.version++
+	return true
+}
+
+// Get returns the address for id.
+func (b *AddressBook) Get(id underlay.HostID) (*net.UDPAddr, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	a, ok := b.addrs[id]
+	return a, ok
+}
+
+// IDs returns every known host id, sorted.
+func (b *AddressBook) IDs() []underlay.HostID {
+	b.mu.RLock()
+	ids := make([]underlay.HostID, 0, len(b.addrs))
+	for id := range b.addrs {
+		ids = append(ids, id)
+	}
+	b.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Len reports the number of entries.
+func (b *AddressBook) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.addrs)
+}
+
+// Version reports the change counter — it increases on every effective
+// Set/Remove, so pollers can detect quiescence.
+func (b *AddressBook) Version() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.version
+}
+
+// Encode serializes the book (sorted by id) for the hello/welcome
+// handshake: count(4), then per entry id(4) + addrlen(1) + "host:port".
+// Textual addresses sidestep IPv4/IPv6 representation pitfalls.
+func (b *AddressBook) Encode() []byte {
+	return b.EncodeIDs(b.IDs())
+}
+
+// EncodeIDs serializes the entries for the given ids in Encode's format,
+// silently skipping ids the book does not hold. The Kademlia engine uses
+// this to answer find_node with a mini address book of the k closest
+// peers, so a querier learns addresses along with ids.
+func (b *AddressBook) EncodeIDs(ids []underlay.HostID) []byte {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var body []byte
+	n := 0
+	for _, id := range ids {
+		a, ok := b.addrs[id]
+		if !ok {
+			continue
+		}
+		s := a.String()
+		body = binary.BigEndian.AppendUint32(body, uint32(int32(id)))
+		body = append(body, byte(len(s)))
+		body = append(body, s...)
+		n++
+	}
+	out := binary.BigEndian.AppendUint32(make([]byte, 0, 4+len(body)), uint32(n))
+	return append(out, body...)
+}
+
+// PeerEntry is one decoded address-book entry.
+type PeerEntry struct {
+	ID   underlay.HostID
+	Addr *net.UDPAddr
+}
+
+// DecodePeers parses an Encode/EncodeIDs payload. Malformed input
+// returns an error, never panics.
+func DecodePeers(p []byte) ([]PeerEntry, error) {
+	if len(p) < 4 {
+		return nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(p)
+	p = p[4:]
+	entries := make([]PeerEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(p) < 5 {
+			return entries, ErrTruncated
+		}
+		id := underlay.HostID(int32(binary.BigEndian.Uint32(p)))
+		alen := int(p[4])
+		p = p[5:]
+		if len(p) < alen {
+			return entries, ErrTruncated
+		}
+		addr, rerr := net.ResolveUDPAddr("udp", string(p[:alen]))
+		if rerr != nil {
+			return entries, fmt.Errorf("nettransport: bad book entry for host %d: %w", id, rerr)
+		}
+		p = p[alen:]
+		entries = append(entries, PeerEntry{ID: id, Addr: addr})
+	}
+	return entries, nil
+}
+
+// Merge decodes an Encode payload into the book, skipping entries it
+// already has verbatim. It returns how many entries were added or
+// updated. Malformed input returns an error, never panics.
+func (b *AddressBook) Merge(p []byte) (changed int, err error) {
+	entries, err := DecodePeers(p)
+	for _, e := range entries {
+		if b.Set(e.ID, e.Addr) {
+			changed++
+		}
+	}
+	return changed, err
+}

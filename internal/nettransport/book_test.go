@@ -1,0 +1,83 @@
+package nettransport
+
+import (
+	"net"
+	"testing"
+
+	"unap2p/internal/underlay"
+)
+
+func udpAddr(t *testing.T, s string) *net.UDPAddr {
+	t.Helper()
+	a, err := net.ResolveUDPAddr("udp", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAddressBookSetGetRemove(t *testing.T) {
+	b := NewAddressBook()
+	a1 := udpAddr(t, "127.0.0.1:4001")
+	if !b.Set(1, a1) {
+		t.Fatal("first Set reported no change")
+	}
+	if b.Set(1, udpAddr(t, "127.0.0.1:4001")) {
+		t.Fatal("identical re-Set reported a change")
+	}
+	if !b.Set(1, udpAddr(t, "127.0.0.1:4002")) {
+		t.Fatal("rebind did not report a change")
+	}
+	got, ok := b.Get(1)
+	if !ok || got.Port != 4002 {
+		t.Fatalf("Get(1) = %v, %v after rebind", got, ok)
+	}
+	v := b.Version()
+	if !b.Remove(1) || b.Remove(1) {
+		t.Fatal("Remove semantics broken")
+	}
+	if b.Version() <= v {
+		t.Fatal("Remove did not bump the version")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after removal", b.Len())
+	}
+}
+
+func TestAddressBookEncodeMerge(t *testing.T) {
+	b := NewAddressBook()
+	b.Set(3, udpAddr(t, "127.0.0.1:4003"))
+	b.Set(1, udpAddr(t, "127.0.0.1:4001"))
+	b.Set(2, udpAddr(t, "127.0.0.1:4002"))
+
+	other := NewAddressBook()
+	other.Set(1, udpAddr(t, "127.0.0.1:4001")) // already known
+	changed, err := other.Merge(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 2 {
+		t.Fatalf("Merge changed %d entries, want 2", changed)
+	}
+	if got := other.IDs(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("merged IDs = %v", got)
+	}
+
+	// Subset encoding carries only the requested ids.
+	entries, err := DecodePeers(b.EncodeIDs([]underlay.HostID{2, 99}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].ID != 2 || entries[0].Addr.Port != 4002 {
+		t.Fatalf("EncodeIDs subset decoded to %v", entries)
+	}
+
+	// Malformed payloads error instead of panicking.
+	if _, err := DecodePeers([]byte{0, 0}); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	trunc := b.Encode()
+	if _, err := DecodePeers(trunc[:len(trunc)-3]); err == nil {
+		t.Fatal("truncated entry accepted")
+	}
+}

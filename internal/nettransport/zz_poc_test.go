@@ -1,0 +1,12 @@
+package nettransport
+
+import (
+	"testing"
+)
+
+// PoC: a 4-byte payload claiming 0xFFFFFFFF entries.
+func TestDecodePeersHugeCount(t *testing.T) {
+	p := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	entries, err := DecodePeers(p)
+	t.Logf("entries=%d err=%v", len(entries), err)
+}

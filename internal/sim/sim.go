@@ -117,6 +117,16 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 // Pending reports how many events are queued.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
+// NextAt reports the time of the earliest pending event, or false when
+// the queue is empty. It lets a wall-clock pacer (internal/nettransport)
+// sleep exactly until the next deadline instead of polling the kernel.
+func (k *Kernel) NextAt() (Time, bool) {
+	if len(k.queue) == 0 {
+		return 0, false
+	}
+	return k.queue[0].at, true
+}
+
 // MaxQueue reports the high-water mark of the pending-event queue — how
 // deep the schedule ever got.
 func (k *Kernel) MaxQueue() int { return k.maxQueue }

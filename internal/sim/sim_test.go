@@ -294,3 +294,26 @@ func TestQuickSplitmixNoTrivialCollisions(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// NextAt peeks the earliest pending deadline without disturbing the
+// queue — the wall-clock pacer's sleep target.
+func TestKernelNextAt(t *testing.T) {
+	k := NewKernel()
+	if _, ok := k.NextAt(); ok {
+		t.Fatal("NextAt on empty kernel reported an event")
+	}
+	k.At(30, func() {})
+	k.At(10, func() {})
+	tm := k.AtDaemon(5, func() {})
+	if at, ok := k.NextAt(); !ok || at != 5 {
+		t.Fatalf("NextAt = %v,%v want 5,true", at, ok)
+	}
+	tm.Cancel()
+	if at, ok := k.NextAt(); !ok || at != 10 {
+		t.Fatalf("NextAt after cancel = %v,%v want 10,true", at, ok)
+	}
+	k.Drain()
+	if _, ok := k.NextAt(); ok {
+		t.Fatal("NextAt after drain reported an event")
+	}
+}

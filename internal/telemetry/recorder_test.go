@@ -6,8 +6,8 @@ import (
 	"testing"
 
 	"unap2p/internal/churn"
-	"unap2p/internal/mobility"
 	"unap2p/internal/geo"
+	"unap2p/internal/mobility"
 	"unap2p/internal/sim"
 	"unap2p/internal/topology"
 	"unap2p/internal/transport"
