@@ -4,7 +4,7 @@ GO ?= go
 # for publication-quality numbers.
 BENCHTIME ?= 100ms
 
-.PHONY: ci vet build test race bench bench-json perf-gate cover series-demo chaos fuzz-smoke megascale-smoke net-smoke
+.PHONY: ci vet build test race bench bench-json perf-gate cover series-demo chaos fuzz-smoke megascale-smoke net-smoke live-chaos
 
 # ci is the full verification gate: static analysis, a clean build of
 # every package, the test suite under the race detector, the chaos
@@ -12,10 +12,12 @@ BENCHTIME ?= 100ms
 # and the real-socket wire codec, an end-to-end smoke of the probe
 # plane (record → sample → series), a mid-size sharded-kernel run of
 # all three compact overlays under race, a live multi-process cluster
-# smoke over localhost UDP, and the perf gate (fails on >15% ns/op or
-# allocs/op regression against the baseline snapshot). The coverage
-# summary runs afterwards as a non-fatal reporting step.
-ci: vet build race chaos fuzz-smoke series-demo megascale-smoke net-smoke perf-gate
+# smoke over localhost UDP, the live chaos campaign (sim-vs-live
+# conformance plus schedule-driven fault injection against real
+# clusters), and the perf gate (fails on >15% ns/op or allocs/op
+# regression against the baseline snapshot). The coverage summary runs
+# afterwards as a non-fatal reporting step.
+ci: vet build race chaos fuzz-smoke series-demo megascale-smoke net-smoke live-chaos perf-gate
 	-$(MAKE) cover
 
 vet:
@@ -27,8 +29,10 @@ build:
 test:
 	$(GO) test ./...
 
+# -shuffle=on randomizes test order within each package, surfacing
+# test-order coupling (shared ports, leaked goroutines) early.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # bench runs the tier-1 micro-benchmarks with allocation stats, three
 # interleaved runs each so variance is visible.
@@ -80,12 +84,15 @@ chaos:
 # catch regressions in CI without the open-ended runtime of a real
 # fuzzing campaign: the chaos schedule parser, the binary-trie XOR
 # ground truth every megascale exactness figure rests on (cross-checked
-# against a naive scan), and the nettransport wire codec (arbitrary
-# datagrams must never panic the receive loop).
+# against a naive scan), the nettransport wire codec (arbitrary
+# datagrams must never panic the receive loop), and the address-book
+# peer codec (a lying entry count must never drive the allocator;
+# decode → merge → encode is a fixpoint).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSchedule -fuzztime=10s ./internal/chaos/
 	$(GO) test -run='^$$' -fuzz=FuzzClosestGlobal -fuzztime=10s ./internal/megascale/
 	$(GO) test -run='^$$' -fuzz=FuzzWireCodec -fuzztime=10s ./internal/nettransport/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodePeers -fuzztime=10s ./internal/nettransport/
 
 # net-smoke boots a real multi-process cluster per overlay: 5 unapnode
 # OS processes on localhost UDP ports, joined through a bootstrap, each
@@ -99,6 +106,27 @@ net-smoke:
 	UNAP_NETSMOKE_NODES=$(NETSMOKE_NODES) \
 	UNAP_NETSMOKE_LOOKUPS=$(NETSMOKE_LOOKUPS) \
 		$(GO) test -race -count=1 -run 'TestNetSmoke' -v ./internal/integration/
+
+# live-chaos runs the deterministic chaos schedules against real
+# clusters, in three tiers: (1) the in-process campaign — one cluster
+# per overlay takes a loss-burst + crash-wave schedule under the race
+# detector, must evict exactly the killed nodes and reconverge to the
+# ≥95% verified-lookup floor, plus the revive-rejoin and
+# detector-recant-under-loss cases; (2) the sim-vs-live conformance
+# test — the same schedule shape under chaos.Injector (sim kernel) and
+# chaos.LiveInjector (wall clock, sockets), both held to the same
+# invariant floor; (3) the OS-process tier — unapnode daemons with
+# -chaos flags, SIGKILL crash waves, eviction exactness verified
+# through each survivor's /metrics, SIGTERM-clean shutdown.
+NETCHAOS_NODES ?= 6
+NETCHAOS_LOOKUPS ?= 25
+live-chaos:
+	$(GO) test -race -count=1 -run 'TestLiveChaosCampaign|TestLiveReviveRejoins|TestDetectorRecantsUnderLiveLoss' -v ./internal/livenode/
+	$(GO) test -race -count=1 -run 'TestSimLiveConformance' -v ./internal/integration/
+	UNAP_NETCHAOS_OVERLAYS=kademlia,chord,gnutella \
+	UNAP_NETCHAOS_NODES=$(NETCHAOS_NODES) \
+	UNAP_NETCHAOS_LOOKUPS=$(NETCHAOS_LOOKUPS) \
+		$(GO) test -count=1 -run 'TestNetChaos' -v ./internal/integration/
 
 # megascale-smoke runs the sharded kernel at CI-sized scale — ~50k
 # peers with churn, all three compact overlays (kademlia, chord,

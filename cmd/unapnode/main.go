@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"unap2p/internal/chaos"
 	"unap2p/internal/livenode"
 	"unap2p/internal/underlay"
 )
@@ -39,7 +40,16 @@ func main() {
 		expect    = flag.Int("expect", 0, "wait for this many cluster members before running lookups")
 		lookups   = flag.Int("lookups", 0, "run this many verified lookups once the cluster converges")
 		oneshot   = flag.Bool("oneshot", false, "exit after the lookup run instead of serving forever")
+		relookup  = flag.Duration("relookup", 0, "repeat the lookup run at this interval (reports each round)")
 		verbose   = flag.Bool("v", false, "log transport diagnostics to stderr")
+
+		suspectAfter = flag.Int("suspect-after", 0, "failure-detector suspect streak (0: default 2)")
+		evictAfter   = flag.Int("evict-after", 0, "failure-detector evict streak (0: default 4)")
+
+		chaosFile  = flag.String("chaos", "", "arm this chaos schedule file's loss/partition windows as an inbound drop filter")
+		chaosEpoch = flag.Int64("chaos-epoch", 0, "chaos schedule epoch, unix milliseconds (0: process start); share one across the cluster")
+		chaosASes  = flag.Int("chaos-ases", 0, "synthetic AS count for schedule scoping (NodeKey placement)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "per-cluster seed for the chaos loss streams")
 	)
 	flag.Parse()
 
@@ -50,6 +60,8 @@ func main() {
 		MetricsAddr:  *metrics,
 		Timeout:      *timeout,
 		PingInterval: *ping,
+		SuspectAfter: *suspectAfter,
+		EvictAfter:   *evictAfter,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
@@ -67,6 +79,28 @@ func main() {
 		*id, *overlay, node.Net().LocalAddr())
 	if addr := node.MetricsAddr(); addr != "" {
 		fmt.Printf("unapnode id=%d metrics on http://%s/metrics\n", *id, addr)
+	}
+	if *chaosFile != "" {
+		text, err := os.ReadFile(*chaosFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		sched, err := chaos.Parse(string(text))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: chaos schedule %s: %v\n", *chaosFile, err)
+			os.Exit(1)
+		}
+		epoch := time.Now()
+		if *chaosEpoch > 0 {
+			epoch = time.UnixMilli(*chaosEpoch)
+		}
+		if err := node.ArmChaos(sched, epoch, *chaosASes, *chaosSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("unapnode id=%d chaos armed: %d windows, epoch %d\n",
+			*id, len(sched.Windows), epoch.UnixMilli())
 	}
 	if *bootstrap != "" {
 		if err := node.Join(*bootstrap); err != nil {
@@ -91,6 +125,23 @@ func main() {
 				os.Exit(2) // below the smoke-test success floor
 			}
 			return
+		}
+		// Campaign mode: keep re-running the lookup round so an external
+		// harness (the live chaos driver) can read success rates before,
+		// during and after the schedule's fault windows.
+		if *relookup > 0 {
+			tick := time.NewTicker(*relookup)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					ok := node.RunLookups(*lookups)
+					fmt.Printf("unapnode id=%d lookups ok=%d/%d\n", *id, ok, *lookups)
+				case sig := <-sigc:
+					fmt.Printf("unapnode id=%d shutting down (%v)\n", *id, sig)
+					return
+				}
+			}
 		}
 	}
 

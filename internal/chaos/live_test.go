@@ -1,0 +1,392 @@
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"unap2p/internal/underlay"
+)
+
+// fakeMember is a controllable LiveMember + DropArmer for unit tests.
+type fakeMember struct {
+	id underlay.HostID
+
+	mu      sync.Mutex
+	up      bool
+	kills   int
+	revives int
+	drop    func(from underlay.HostID) bool
+	killErr error
+}
+
+func newFakeMember(id underlay.HostID) *fakeMember {
+	return &fakeMember{id: id, up: true}
+}
+
+func (m *fakeMember) ID() underlay.HostID { return m.id }
+
+func (m *fakeMember) Kill() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.killErr != nil {
+		return m.killErr
+	}
+	m.up = false
+	m.kills++
+	return nil
+}
+
+func (m *fakeMember) Revive() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.up = true
+	m.revives++
+	return nil
+}
+
+func (m *fakeMember) ArmDrop(fn func(from underlay.HostID) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.drop = fn
+}
+
+func (m *fakeMember) DisarmDrop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.drop = nil
+}
+
+func (m *fakeMember) snapshot() (up bool, kills, revives int, armed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.up, m.kills, m.revives, m.drop != nil
+}
+
+func fakeCluster(n int) ([]*fakeMember, []LiveMember) {
+	fakes := make([]*fakeMember, n)
+	members := make([]LiveMember, n)
+	for i := range fakes {
+		fakes[i] = newFakeMember(underlay.HostID(i))
+		members[i] = fakes[i]
+	}
+	return fakes, members
+}
+
+func mustParse(t *testing.T, text string) Schedule {
+	t.Helper()
+	s, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", text, err)
+	}
+	return s
+}
+
+// TestLiveClock pins the wall→schedule time mapping: negative before
+// the epoch (no window is ever active then), milliseconds after.
+func TestLiveClock(t *testing.T) {
+	c := LiveClock{Epoch: time.Now().Add(time.Hour)}
+	if now := c.Now(); now >= 0 {
+		t.Fatalf("clock before epoch should be negative, got %v", now)
+	}
+	c = LiveClock{Epoch: time.Now().Add(-time.Second)}
+	if now := c.Now(); now < 900 || now > 30_000 {
+		t.Fatalf("clock ~1s after epoch should be ~1000ms, got %v", now)
+	}
+	w := Window{Kind: LossBurst, Start: 0, End: 1000, Loss: 1}
+	if w.active(LiveClock{Epoch: time.Now().Add(time.Hour)}.Now()) {
+		t.Fatal("window active before the epoch")
+	}
+}
+
+// TestLiveFilterPartition checks the cut semantics: only traffic
+// crossing the partition boundary drops, and only while the window
+// is active.
+func TestLiveFilterPartition(t *testing.T) {
+	sched := mustParse(t, "partition 0 100000 as=1\n")
+	asOf := func(id underlay.HostID) int { return int(id) % 2 } // odd ids in AS 1
+	clock := LiveClock{Epoch: time.Now()}
+
+	inside := NewLiveFilter(sched, clock, 1, asOf, 42)  // self in AS 1
+	outside := NewLiveFilter(sched, clock, 2, asOf, 42) // self in AS 0
+
+	if !inside.Drop(2) {
+		t.Fatal("cut-crossing frame (AS0→AS1) not dropped")
+	}
+	if inside.Drop(3) {
+		t.Fatal("intra-AS1 frame dropped")
+	}
+	if !outside.Drop(1) {
+		t.Fatal("cut-crossing frame (AS1→AS0) not dropped")
+	}
+	if outside.Drop(4) {
+		t.Fatal("intra-AS0 frame dropped")
+	}
+
+	// An expired window must stop dropping.
+	late := NewLiveFilter(sched, LiveClock{Epoch: time.Now().Add(-200 * time.Second)}, 1, asOf, 42)
+	if late.Drop(2) {
+		t.Fatal("expired partition still dropping")
+	}
+}
+
+// TestLiveFilterLoss checks loss-burst statistics: rate 1 drops
+// everything scoped, rate 0.5 drops roughly half, unscoped ASes are
+// untouched, and nothing drops outside the window.
+func TestLiveFilterLoss(t *testing.T) {
+	asOf := func(id underlay.HostID) int { return int(id) % 2 }
+	clock := LiveClock{Epoch: time.Now()}
+
+	total := NewLiveFilter(mustParse(t, "loss 0 100000 rate=1 as=1\n"), clock, 0, asOf, 1)
+	if !total.Drop(1) {
+		t.Fatal("rate=1 frame from scoped AS survived")
+	}
+	if total.Drop(2) {
+		t.Fatal("frame with neither endpoint scoped dropped")
+	}
+
+	half := NewLiveFilter(mustParse(t, "loss 0 100000 rate=0.5\n"), clock, 0, asOf, 1)
+	drops := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if half.Drop(1) {
+			drops++
+		}
+	}
+	if drops < trials*35/100 || drops > trials*65/100 {
+		t.Fatalf("rate=0.5 dropped %d/%d, far from half", drops, trials)
+	}
+
+	idle := NewLiveFilter(mustParse(t, "loss 50000 100000 rate=1\n"), clock, 0, asOf, 1)
+	if idle.Drop(1) {
+		t.Fatal("future window already dropping")
+	}
+}
+
+// TestLiveFilterNilASOf: without a placement every node shares AS 0,
+// so AS-scoped windows on other ASes never bite but unscoped ones do.
+func TestLiveFilterNilASOf(t *testing.T) {
+	clock := LiveClock{Epoch: time.Now()}
+	scoped := NewLiveFilter(mustParse(t, "loss 0 100000 rate=1 as=7\n"), clock, 0, nil, 1)
+	if scoped.Drop(1) {
+		t.Fatal("AS-scoped window dropped with nil placement")
+	}
+	unscoped := NewLiveFilter(mustParse(t, "loss 0 100000 rate=1\n"), clock, 0, nil, 1)
+	if !unscoped.Drop(1) {
+		t.Fatal("unscoped window did not drop with nil placement")
+	}
+}
+
+// TestLiveVictimPlanning pins the victim-selection discipline: a pure
+// function of (seed, schedule, member set, protect) — same inputs, same
+// victims; different seed, (almost surely) different victims; protected
+// ids never chosen; revive returns victims to later waves' pools.
+func TestLiveVictimPlanning(t *testing.T) {
+	sched := mustParse(t, "crash 100 n=2\ncrash 200 n=2\n")
+	_, members := fakeCluster(8)
+
+	cfg := LiveConfig{Seed: 7, Protect: []underlay.HostID{0}}
+	a, err := NewLiveInjector(sched, members, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLiveInjector(sched, members, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Victims(), b.Victims()) {
+		t.Fatalf("same seed, different victims: %v vs %v", a.Victims(), b.Victims())
+	}
+
+	waves := a.Victims()
+	if len(waves) != 2 || len(waves[0]) != 2 || len(waves[1]) != 2 {
+		t.Fatalf("want 2 waves of 2 victims, got %v", waves)
+	}
+	seen := map[underlay.HostID]bool{}
+	for _, wave := range waves {
+		for _, id := range wave {
+			if id == 0 {
+				t.Fatalf("protected id 0 selected as victim: %v", waves)
+			}
+			if seen[id] {
+				t.Fatalf("victim %d chosen twice without revive: %v", id, waves)
+			}
+			seen[id] = true
+		}
+	}
+
+	// With revive before the second wave, first-wave victims are
+	// eligible again.
+	revSched := mustParse(t, "crash 100 n=2 revive=150\ncrash 200 n=6\n")
+	c, err := NewLiveInjector(revSched, members, LiveConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Victims()[1]); got != 6 {
+		t.Fatalf("post-revive wave should find 6 eligible victims, got %d", got)
+	}
+
+	// A wave larger than the pool takes everyone eligible, not more.
+	big, err := NewLiveInjector(mustParse(t, "crash 100 n=50\n"), members, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(big.Victims()[0]); got != 7 {
+		t.Fatalf("oversized wave should clamp to pool (7 unprotected), got %d", got)
+	}
+}
+
+// TestLiveInjectorRequiresASOf: AS-scoped drop windows without a
+// placement function are a configuration error, not a silent no-op.
+func TestLiveInjectorRequiresASOf(t *testing.T) {
+	_, members := fakeCluster(3)
+	_, err := NewLiveInjector(mustParse(t, "partition 0 100 as=1\n"), members, LiveConfig{})
+	if err == nil {
+		t.Fatal("AS-scoped schedule accepted without ASOf")
+	}
+	if _, err := NewLiveInjector(mustParse(t, "loss 0 100 rate=0.5\n"), members, LiveConfig{}); err != nil {
+		t.Fatalf("unscoped schedule rejected: %v", err)
+	}
+}
+
+// TestLiveInjectorFires runs a compressed campaign against fake
+// members: drop filters armed at Start, kills at the wave instant,
+// revives at window end, Crashed tracking both transitions.
+func TestLiveInjectorFires(t *testing.T) {
+	fakes, members := fakeCluster(4)
+	sched := mustParse(t, "loss 0 5000 rate=0.5\ncrash 20 n=2 revive=120\n")
+	inj, err := NewLiveInjector(sched, members, LiveConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := inj.Victims()[0]
+
+	crashc := make(chan underlay.HostID, 4)
+	inj.cfg.OnCrash = func(id underlay.HostID) { crashc <- id }
+
+	if err := inj.Start(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Stop()
+	for _, f := range fakes {
+		if _, _, _, armed := f.snapshot(); !armed {
+			t.Fatalf("member %d drop filter not armed at Start", f.id)
+		}
+	}
+
+	// First crash observed → victims down, Crashed matches the plan.
+	select {
+	case <-crashc:
+	case <-time.After(5 * time.Second):
+		t.Fatal("crash wave never fired")
+	}
+	<-crashc
+	if got := inj.Crashed(); !reflect.DeepEqual(got, victims) {
+		t.Fatalf("Crashed() = %v, planned victims %v", got, victims)
+	}
+	if len(inj.WaveTimes()) != 1 {
+		t.Fatalf("want 1 wave time, got %v", inj.WaveTimes())
+	}
+
+	inj.Wait() // blocks until the revive timer fires too
+	if got := inj.Crashed(); len(got) != 0 {
+		t.Fatalf("Crashed() after revive = %v, want empty", got)
+	}
+	for _, id := range victims {
+		up, kills, revives, _ := fakes[id].snapshot()
+		if !up || kills != 1 || revives != 1 {
+			t.Fatalf("victim %d: up=%v kills=%d revives=%d", id, up, kills, revives)
+		}
+	}
+	if err := inj.Err(); err != nil {
+		t.Fatalf("campaign errors: %v", err)
+	}
+
+	if err := inj.Start(time.Now()); err == nil {
+		t.Fatal("second Start accepted")
+	}
+}
+
+// TestLiveInjectorRecordsKillErrors: a member that refuses to die
+// surfaces through Err instead of being silently marked crashed.
+func TestLiveInjectorRecordsKillErrors(t *testing.T) {
+	fakes, members := fakeCluster(3)
+	for _, f := range fakes {
+		f.killErr = fmt.Errorf("no permission")
+	}
+	inj, err := NewLiveInjector(mustParse(t, "crash 10 n=1\n"), members, LiveConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Start(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	inj.Wait()
+	if inj.Err() == nil {
+		t.Fatal("kill failure not recorded")
+	}
+	if got := inj.Crashed(); len(got) != 0 {
+		t.Fatalf("failed kill still counted as crashed: %v", got)
+	}
+}
+
+// TestLiveInjectorStop: timers cancelled before firing release Wait.
+func TestLiveInjectorStop(t *testing.T) {
+	fakes, members := fakeCluster(3)
+	inj, err := NewLiveInjector(mustParse(t, "crash 3600000 n=1\n"), members, LiveConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Start(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	inj.Stop()
+	done := make(chan struct{})
+	go func() { inj.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not return after Stop")
+	}
+	for _, f := range fakes {
+		if up, _, _, _ := f.snapshot(); !up {
+			t.Fatalf("member %d killed by a cancelled wave", f.id)
+		}
+	}
+}
+
+// TestScrapeProm parses the Prometheus text format the live nodes
+// serve, stripping labels and skipping comments.
+func TestScrapeProm(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "# HELP unap2p_peers live peers")
+		fmt.Fprintln(w, "# TYPE unap2p_peers gauge")
+		fmt.Fprintln(w, "unap2p_peers 5")
+		fmt.Fprintln(w, `unap2p_resilience_evict_total{node="3"} 2`)
+		fmt.Fprintln(w, "not a metric line at all with words")
+	}))
+	defer srv.Close()
+
+	m, err := ScrapeProm(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["unap2p_peers"] != 5 {
+		t.Fatalf("unap2p_peers = %v, want 5", m["unap2p_peers"])
+	}
+	if m["unap2p_resilience_evict_total"] != 2 {
+		t.Fatalf("evict_total = %v, want 2", m["unap2p_resilience_evict_total"])
+	}
+
+	if _, err := ScrapeProm(srv.URL + "/missing"); err == nil {
+		t.Fatal("404 scrape did not error")
+	}
+}

@@ -1,0 +1,140 @@
+package chaos
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"unap2p/internal/sim"
+)
+
+// The schedule grammar now feeds two injectors (sim and live), so its
+// algebraic properties get pinned here with testing/quick: generated
+// schedules always validate and round-trip through Parse∘Format, and
+// the window predicates behave at their boundaries for arbitrary
+// inputs.
+
+// TestPropertyGenerateValidRoundTrip: for any seed, Generate yields a
+// schedule that (1) validates, (2) has exactly the requested window
+// counts, (3) is sorted by start time, and (4) survives Format→Parse
+// byte-exactly as a structure.
+func TestPropertyGenerateValidRoundTrip(t *testing.T) {
+	prop := func(seed int64, parts, bursts, waves uint8) bool {
+		cfg := GenConfig{
+			Horizon:    20_000,
+			ASes:       []int{0, 1, 2, 3, 4},
+			Partitions: int(parts % 5),
+			Bursts:     int(bursts % 5),
+			Waves:      int(waves % 5),
+		}
+		r := rand.New(rand.NewSource(seed))
+		s := Generate(r, cfg)
+		if err := s.Validate(); err != nil {
+			t.Logf("seed %d: generated schedule invalid: %v", seed, err)
+			return false
+		}
+		counts := map[Kind]int{}
+		for _, w := range s.Windows {
+			counts[w.Kind]++
+		}
+		if counts[ASPartition] != cfg.Partitions ||
+			counts[LossBurst] != cfg.Bursts ||
+			counts[CrashWave] != cfg.Waves {
+			t.Logf("seed %d: window counts %v != requested", seed, counts)
+			return false
+		}
+		for i := 1; i < len(s.Windows); i++ {
+			if s.Windows[i].Start < s.Windows[i-1].Start {
+				t.Logf("seed %d: windows not sorted by start", seed)
+				return false
+			}
+		}
+		back, err := Parse(Format(s))
+		if err != nil {
+			t.Logf("seed %d: Parse(Format(s)): %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(normalize(s), normalize(back)) {
+			t.Logf("seed %d: round trip changed the schedule\n got %#v\nwant %#v", seed, back, s)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// normalize maps a schedule to a canonical form for comparison: Parse
+// leaves a nil ASes slice where Generate may have produced an empty
+// one, which DeepEqual distinguishes but the semantics do not.
+func normalize(s Schedule) Schedule {
+	out := Schedule{Windows: append([]Window(nil), s.Windows...)}
+	for i := range out.Windows {
+		if len(out.Windows[i].ASes) == 0 {
+			out.Windows[i].ASes = nil
+		}
+	}
+	return out
+}
+
+// TestPropertyWindowActive pins the half-open interval contract for
+// arbitrary finite windows: active at Start iff the window is
+// non-empty, never active at End or beyond, always active strictly
+// inside.
+func TestPropertyWindowActive(t *testing.T) {
+	prop := func(startMs uint16, durMs uint16) bool {
+		start := sim.Time(startMs)
+		end := start + sim.Time(durMs)
+		w := Window{Kind: LossBurst, Start: start, End: end, Loss: 0.5}
+		if w.active(start - 1) {
+			return false
+		}
+		if w.active(end) || w.active(end+1) {
+			return false
+		}
+		nonEmpty := durMs > 0
+		if w.active(start) != nonEmpty {
+			return false
+		}
+		if nonEmpty {
+			mid := start + sim.Time(float64(durMs)/2)
+			if mid < end && !w.active(mid) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyWindowScoped: an empty scope matches every AS; a
+// non-empty scope matches exactly its members.
+func TestPropertyWindowScoped(t *testing.T) {
+	prop := func(rawASes []uint8, probe uint8) bool {
+		ases := make([]int, 0, len(rawASes))
+		seen := map[int]bool{}
+		for _, a := range rawASes {
+			if !seen[int(a)] {
+				seen[int(a)] = true
+				ases = append(ases, int(a))
+			}
+		}
+		w := Window{Kind: LossBurst, ASes: ases, Loss: 0.5}
+		if len(ases) == 0 {
+			return w.scoped(int(probe)) && w.scoped(1<<20)
+		}
+		for _, a := range ases {
+			if !w.scoped(a) {
+				return false
+			}
+		}
+		return w.scoped(int(probe)) == seen[int(probe)] && !w.scoped(1<<20)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,509 @@
+package integration
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"unap2p/internal/chaos"
+	"unap2p/internal/livenode"
+	"unap2p/internal/overlay/kademlia"
+	"unap2p/internal/underlay"
+)
+
+// confSchedule is the shared schedule shape of the sim-vs-live
+// conformance check: a correlated loss burst, then a two-peer crash
+// wave. Both injectors interpret this exact text — the sim Injector in
+// sim time against the simulated underlay, the LiveInjector in wall
+// time against real sockets — and both clusters must recover to the
+// same invariant floor.
+const (
+	confSchedule = "loss 400 1000 rate=0.25\ncrash 1400 n=2\n"
+	confFloor    = 0.9
+)
+
+// TestSimLiveConformance is the tentpole's closing claim: the chaos
+// plane means the same thing in both worlds. One schedule shape, two
+// injectors; in each world the detector must evict exactly the crash
+// wave's victims and post-fault lookups must clear confFloor.
+func TestSimLiveConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live half needs wall-clock fault windows")
+	}
+	t.Run("sim", func(t *testing.T) { conformanceSim(t) })
+	t.Run("live", func(t *testing.T) { conformanceLive(t) })
+}
+
+// conformanceSim runs the shared schedule under the deterministic sim
+// injector: the same world/detector wiring as the chaos suite, with the
+// conformance schedule in place of the standard campaign.
+func conformanceSim(t *testing.T) {
+	e := newChaosEnv(t, "conformance", 11)
+	d := kademlia.New(e.tr, nil, kademlia.DefaultConfig(), e.src.Stream("dht"))
+	for _, h := range e.hosts {
+		d.AddNode(h)
+	}
+	d.Bootstrap(4)
+	e.det.Heal(d)
+	e.watchFrom(e.hosts[0])
+
+	sched, err := chaos.Parse(confSchedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.NewInjector(e.k, e.tr, sched, e.src.Stream("chaos"))
+	inj.Eligible = e.hosts[1:]
+	if err := inj.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	e.inj = inj
+	e.k.Run(chaosHorizon)
+
+	crashed := inj.Crashed()
+	if len(crashed) != 2 {
+		t.Fatalf("sim: crash wave took down %v, want 2 peers", crashed)
+	}
+	if got := e.det.Evicted(); !reflect.DeepEqual(got, crashed) {
+		t.Fatalf("sim: detector evicted %v, crashed %v", got, crashed)
+	}
+
+	report := chaos.Check("conformance/sim", d)
+	evicted := e.evictedSet()
+	nodes := d.Nodes()
+	ok, total := 0, 0
+	for i := 0; i < len(nodes) && total < 24; i++ {
+		n := nodes[i]
+		if evicted[n.Host] {
+			continue
+		}
+		total++
+		res := d.Lookup(n.Host, nodes[(i*13+5)%len(nodes)].ID)
+		if res.Hops > 0 && len(res.Closest) > 0 {
+			ok++
+		}
+		for _, c := range res.Closest {
+			if evicted[c.Host] {
+				report.Add("dead-refs", "lookup returned evicted contact %d", c.Host)
+			}
+		}
+	}
+	report.SuccessFloor("post-fault lookups", ok, total, confFloor)
+	if err := report.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sim: evicted %v, lookups %d/%d", crashed, ok, total)
+}
+
+// conformanceLive runs the same schedule text under the wall-clock
+// injector on an in-process socket cluster.
+func conformanceLive(t *testing.T) {
+	requireSockets(t)
+	const n = 6
+	members := make([]*livenode.Member, n)
+	var bootstrap string
+	for i := 0; i < n; i++ {
+		node, err := livenode.StartRetry(livenode.Config{
+			ID:           underlay.HostID(i),
+			Overlay:      "kademlia",
+			PingInterval: 100 * time.Millisecond,
+			Timeout:      150 * time.Millisecond,
+			SuspectAfter: 2,
+			EvictAfter:   8,
+			Logf:         t.Logf,
+		}, 5)
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		if i == 0 {
+			bootstrap = node.Net().LocalAddr().String()
+			members[i] = livenode.NewMember(node, "")
+		} else {
+			if err := node.Join(bootstrap); err != nil {
+				t.Fatalf("join node %d: %v", i, err)
+			}
+			members[i] = livenode.NewMember(node, bootstrap)
+		}
+		m := members[i]
+		t.Cleanup(func() { m.Kill() })
+	}
+	awaitNet(t, "full address books", func() bool {
+		for _, m := range members {
+			if m.Node().Peers() != n {
+				return false
+			}
+		}
+		return true
+	})
+
+	sched, err := chaos.Parse(confSchedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := make([]chaos.LiveMember, n)
+	for i, m := range members {
+		lm[i] = m
+	}
+	inj, err := chaos.NewLiveInjector(sched, lm, chaos.LiveConfig{
+		Seed:    7,
+		ASOf:    livenode.ASPlacement(3),
+		Protect: []underlay.HostID{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := inj.Victims()[0]
+	isVictim := map[underlay.HostID]bool{}
+	for _, id := range victims {
+		isVictim[id] = true
+	}
+	if err := inj.Start(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Stop()
+	inj.Wait()
+	if err := inj.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Crashed(); !reflect.DeepEqual(got, victims) {
+		t.Fatalf("live: Crashed() = %v, planned %v", got, victims)
+	}
+
+	awaitNet(t, "survivors evict exactly the victims", func() bool {
+		for _, m := range members {
+			if isVictim[m.ID()] {
+				continue
+			}
+			if !reflect.DeepEqual(m.Node().Evicted(), victims) {
+				return false
+			}
+		}
+		return true
+	})
+
+	report := &chaos.Report{Name: "conformance/live"}
+	ok, total := 0, 0
+	for _, m := range members {
+		if isVictim[m.ID()] {
+			continue
+		}
+		if err := chaos.Check("conformance/live", m.Node().ChaosSubject()).Err(); err != nil {
+			t.Error(err)
+		}
+		ok += m.Node().RunLookups(20)
+		total += 20
+	}
+	report.SuccessFloor("post-fault lookups", ok, total, confFloor)
+	if err := report.Err(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("live: evicted %v, lookups %d/%d", victims, ok, total)
+}
+
+// awaitNet is the integration-package poll helper (livenode's
+// awaitCluster lives in its own test package).
+func awaitNet(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := waitBudget(t, 30*time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// --- multi-process live campaign ---
+
+// netChaosSchedule leaves the first seconds fault-free so the cluster
+// converges and reports a healthy baseline round before the burst, then
+// crashes two nodes. Loss 3.0–3.8 s (8 missed intervals would need
+// 800 ms of total loss — rate 0.25 cannot sustain it), crash at 4.5 s.
+const netChaosSchedule = "loss 3000 3800 rate=0.25\ncrash 4500 n=2\n"
+
+// procMember adapts an unapnode OS process to chaos.LiveMember: Kill is
+// SIGKILL — no deferred shutdown, no goodbye, exactly what a crash
+// means. OS processes do not revive (the schedule has no revive
+// windows) and arm their own drop filters from the -chaos flags.
+type procMember struct {
+	id  underlay.HostID
+	cmd *exec.Cmd
+}
+
+func (p *procMember) ID() underlay.HostID { return p.id }
+func (p *procMember) Kill() error         { return p.cmd.Process.Kill() }
+func (p *procMember) Revive() error {
+	return fmt.Errorf("integration: OS-process members do not revive")
+}
+
+var (
+	metricsRe  = regexp.MustCompile(`unapnode id=(\d+) metrics on http://(\S+)/metrics`)
+	idLookupRe = regexp.MustCompile(`unapnode id=(\d+) lookups ok=(\d+)/(\d+)`)
+)
+
+// TestNetChaos is the OS-process tier of the live campaign: real
+// unapnode daemons, real datagrams, SIGKILL crash waves, verification
+// through each survivor's /metrics endpoint — the distributed-harness
+// shape D-P2P-Sim+ argues for. `make live-chaos` runs it for all three
+// overlays.
+//
+// Tunables:
+//
+//	UNAP_NETCHAOS_OVERLAYS  comma list            (default "kademlia")
+//	UNAP_NETCHAOS_NODES     cluster size          (default 6)
+//	UNAP_NETCHAOS_LOOKUPS   lookups per round     (default 25)
+func TestNetChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos campaign: skipped in -short mode")
+	}
+	requireSockets(t)
+	overlays := strings.Split(envOr("UNAP_NETCHAOS_OVERLAYS", "kademlia"), ",")
+	nodes := envInt(t, "UNAP_NETCHAOS_NODES", 6)
+	lookups := envInt(t, "UNAP_NETCHAOS_LOOKUPS", 25)
+	bin := buildUnapnode(t)
+
+	schedFile := filepath.Join(t.TempDir(), "campaign.sched")
+	if err := os.WriteFile(schedFile, []byte(netChaosSchedule), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, overlay := range overlays {
+		overlay = strings.TrimSpace(overlay)
+		t.Run(overlay, func(t *testing.T) {
+			runNetChaos(t, bin, schedFile, overlay, nodes, lookups)
+		})
+	}
+}
+
+func runNetChaos(t *testing.T, bin, schedFile, overlay string, nodes, lookups int) {
+	sched, err := chaos.Parse(netChaosSchedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One epoch for everything: the daemons' drop filters (via flag) and
+	// the injector's crash timers interpret the schedule against it.
+	epoch := time.Now()
+
+	procs := make([]*exec.Cmd, nodes)
+	outputs := make([]*strings.Builder, nodes)
+	var outMu sync.Mutex
+	lines := make(chan string, 256)
+
+	startNode := func(i int, bootstrap string) {
+		args := []string{
+			"-id", strconv.Itoa(i),
+			"-listen", "127.0.0.1:0",
+			"-overlay", overlay,
+			"-ping", "100ms",
+			"-timeout", "150ms",
+			"-suspect-after", "2",
+			"-evict-after", "8",
+			"-expect", strconv.Itoa(nodes),
+			"-lookups", strconv.Itoa(lookups),
+			"-relookup", "400ms",
+			"-metrics", "127.0.0.1:0",
+			"-chaos", schedFile,
+			"-chaos-epoch", strconv.FormatInt(epoch.UnixMilli(), 10),
+			"-chaos-ases", "3",
+			"-chaos-seed", "7",
+		}
+		if bootstrap != "" {
+			args = append(args, "-bootstrap", bootstrap)
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		procs[i] = cmd
+		outputs[i] = &strings.Builder{}
+		go func(i int) {
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				line := sc.Text()
+				outMu.Lock()
+				fmt.Fprintln(outputs[i], line)
+				outMu.Unlock()
+				lines <- line
+			}
+		}(i)
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	}()
+
+	startNode(0, "")
+	bootstrap := awaitLine(t, lines, regexp.MustCompile(`listening on (\S+)`), 10*time.Second)
+	for i := 1; i < nodes; i++ {
+		startNode(i, bootstrap)
+	}
+
+	// Collect each node's metrics address and its first (baseline)
+	// lookup report: once every process has reported, the cluster is
+	// converged and routing — before the schedule's first window opens.
+	metricsAddr := make(map[underlay.HostID]string, nodes)
+	baseline := make(map[underlay.HostID]bool, nodes)
+	deadline := time.After(time.Until(waitBudget(t, 60*time.Second)))
+	for len(baseline) < nodes {
+		select {
+		case line := <-lines:
+			if m := metricsRe.FindStringSubmatch(line); m != nil {
+				id, _ := strconv.Atoi(m[1])
+				metricsAddr[underlay.HostID(id)] = m[2]
+			}
+			if m := idLookupRe.FindStringSubmatch(line); m != nil {
+				id, _ := strconv.Atoi(m[1])
+				baseline[underlay.HostID(id)] = true
+			}
+		case <-deadline:
+			t.Fatalf("%s: only %d/%d processes reported a baseline round; outputs:\n%s",
+				overlay, len(baseline), nodes, dumpOutputs(&outMu, outputs))
+		}
+	}
+	if len(metricsAddr) != nodes {
+		t.Fatalf("%s: metrics addresses for %d/%d nodes", overlay, len(metricsAddr), nodes)
+	}
+	t.Logf("%s: cluster converged %v after epoch", overlay, time.Since(epoch).Round(time.Millisecond))
+
+	// The injector owns only the crash waves here — the daemons armed
+	// their own drop filters from the flags. Same epoch, same seed, same
+	// victim-selection discipline as the in-process tier.
+	lm := make([]chaos.LiveMember, nodes)
+	for i := range procs {
+		lm[i] = &procMember{id: underlay.HostID(i), cmd: procs[i]}
+	}
+	inj, err := chaos.NewLiveInjector(sched, lm, chaos.LiveConfig{
+		Seed:    7,
+		ASOf:    livenode.ASPlacement(3),
+		Protect: []underlay.HostID{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := inj.Victims()[0]
+	isVictim := map[underlay.HostID]bool{}
+	for _, id := range victims {
+		isVictim[id] = true
+	}
+	if err := inj.Start(epoch); err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Stop()
+	inj.Wait()
+	if err := inj.Err(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s: SIGKILLed %v", overlay, victims)
+
+	// Every survivor's /metrics must show exactly the victims evicted —
+	// evict_total == wave size (no spurious evictions from the loss
+	// burst) and the peers gauge shrunk by exactly the wave.
+	awaitNet(t, "survivor metrics show exact evictions", func() bool {
+		for id, addr := range metricsAddr {
+			if isVictim[id] {
+				continue
+			}
+			m, err := chaos.ScrapeProm("http://" + addr + "/metrics")
+			if err != nil {
+				return false
+			}
+			if m["unap2p_resilience_evict_total"] != float64(len(victims)) {
+				return false
+			}
+			if m["unap2p_peers"] != float64(nodes-len(victims)) {
+				return false
+			}
+		}
+		return true
+	})
+	ttr := time.Since(inj.WaveTimes()[0])
+	t.Logf("%s: all survivors evicted exactly %v, time-to-recover %v",
+		overlay, victims, ttr.Round(time.Millisecond))
+
+	// Reconvergence: drain the stale reports, then require every
+	// survivor to print a post-eviction round clearing the 95% floor.
+	for {
+		select {
+		case <-lines:
+			continue
+		default:
+		}
+		break
+	}
+	passed := make(map[underlay.HostID]bool, nodes)
+	last := make(map[underlay.HostID]string)
+	deadline = time.After(time.Until(waitBudget(t, 90*time.Second)))
+	for len(passed) < nodes-len(victims) {
+		select {
+		case line := <-lines:
+			m := idLookupRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			id, _ := strconv.Atoi(m[1])
+			hid := underlay.HostID(id)
+			if isVictim[hid] {
+				continue
+			}
+			ok, _ := strconv.Atoi(m[2])
+			total, _ := strconv.Atoi(m[3])
+			last[hid] = fmt.Sprintf("%d/%d", ok, total)
+			if total > 0 && ok*100 >= total*95 {
+				passed[hid] = true
+			}
+		case <-deadline:
+			t.Fatalf("%s: only %d/%d survivors cleared the 95%% floor; last rounds %v; outputs:\n%s",
+				overlay, len(passed), nodes-len(victims), last, dumpOutputs(&outMu, outputs))
+		}
+	}
+	t.Logf("%s: every survivor reconverged to ≥95%% verified lookups (%v)", overlay, last)
+
+	// Clean shutdown of the survivors; the victims were SIGKILLed and
+	// just get reaped.
+	for i, p := range procs {
+		if isVictim[underlay.HostID(i)] {
+			p.Wait()
+			procs[i] = nil
+			continue
+		}
+		p.Process.Signal(syscall.SIGTERM)
+	}
+	for i, p := range procs {
+		if p == nil {
+			continue
+		}
+		done := make(chan error, 1)
+		go func() { done <- p.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("node %d did not exit cleanly on SIGTERM: %v\n%s",
+					i, err, dumpOutputs(&outMu, outputs[i:i+1]))
+			}
+		case <-time.After(10 * time.Second):
+			p.Process.Kill()
+			t.Errorf("node %d ignored SIGTERM", i)
+		}
+		procs[i] = nil
+	}
+}

@@ -3,6 +3,7 @@ package integration
 import (
 	"bufio"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -14,6 +15,44 @@ import (
 	"testing"
 	"time"
 )
+
+// requireSockets skips the test with a reason when the environment
+// forbids binding localhost UDP sockets, instead of failing every
+// multi-process test with an opaque bind error from a child process.
+func requireSockets(t *testing.T) {
+	t.Helper()
+	c, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("environment forbids UDP sockets: %v", err)
+	}
+	c.Close()
+}
+
+// waitBudget derives a polling deadline from the test's own -timeout
+// budget (minus teardown grace), capped at def — bounded waits that
+// never race the harness into a panic-dump timeout.
+func waitBudget(t *testing.T, def time.Duration) time.Time {
+	t.Helper()
+	if d, ok := t.Deadline(); ok {
+		if budget := time.Until(d) - 10*time.Second; budget > 0 && budget < def {
+			return time.Now().Add(budget)
+		}
+	}
+	return time.Now().Add(def)
+}
+
+// buildUnapnode compiles cmd/unapnode once per test into a temp dir and
+// returns the binary path.
+func buildUnapnode(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "unapnode")
+	build := exec.Command("go", "build", "-o", bin, "unap2p/cmd/unapnode")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build unapnode: %v\n%s", err, out)
+	}
+	return bin
+}
 
 // TestNetSmoke is the live-cluster acceptance test: it builds the
 // unapnode binary and boots a real multi-process cluster on localhost
@@ -32,16 +71,11 @@ func TestNetSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process cluster: skipped in -short mode")
 	}
+	requireSockets(t)
 	overlays := strings.Split(envOr("UNAP_NETSMOKE_OVERLAYS", "kademlia,chord"), ",")
 	nodes := envInt(t, "UNAP_NETSMOKE_NODES", 5)
 	lookups := envInt(t, "UNAP_NETSMOKE_LOOKUPS", 20)
-
-	bin := filepath.Join(t.TempDir(), "unapnode")
-	build := exec.Command("go", "build", "-o", bin, "unap2p/cmd/unapnode")
-	build.Dir = repoRoot(t)
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("go build unapnode: %v\n%s", err, out)
-	}
+	bin := buildUnapnode(t)
 
 	for _, overlay := range overlays {
 		overlay = strings.TrimSpace(overlay)
@@ -113,7 +147,7 @@ func runSmokeCluster(t *testing.T, bin, overlay string, nodes, lookups int) {
 
 	// Every process prints its lookup result once the cluster converges.
 	okTotal, total := 0, 0
-	deadline := time.After(60 * time.Second)
+	deadline := time.After(time.Until(waitBudget(t, 60*time.Second)))
 	for got := 0; got < nodes; {
 		select {
 		case line := <-lines:

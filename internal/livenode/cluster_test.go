@@ -1,6 +1,7 @@
 package livenode
 
 import (
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -8,20 +9,46 @@ import (
 	"unap2p/internal/underlay"
 )
 
+// requireSockets skips the test with a reason when the environment
+// forbids binding localhost UDP sockets (restricted sandboxes), instead
+// of failing every live test with an opaque bind error.
+func requireSockets(t *testing.T) {
+	t.Helper()
+	c, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("environment forbids UDP sockets: %v", err)
+	}
+	c.Close()
+}
+
+// waitBudget derives a polling deadline from the test's own -timeout
+// budget (minus grace for teardown), falling back to def when none is
+// set — bounded waits without a magic constant racing the harness.
+func waitBudget(t *testing.T, def time.Duration) time.Time {
+	t.Helper()
+	if d, ok := t.Deadline(); ok {
+		if budget := time.Until(d) - 5*time.Second; budget > 0 && budget < def {
+			return time.Now().Add(budget)
+		}
+	}
+	return time.Now().Add(def)
+}
+
 // bootCluster starts n nodes of one overlay in this process on ephemeral
 // localhost ports, joins them all through node 0, and waits until every
 // address book holds the full membership.
 func bootCluster(t *testing.T, overlay string, n int) []*Node {
 	t.Helper()
+	requireSockets(t)
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
-		node, err := Start(Config{
+		node, err := StartRetry(Config{
 			ID:           underlay.HostID(i),
 			Overlay:      overlay,
 			PingInterval: 100 * time.Millisecond,
 			Timeout:      150 * time.Millisecond,
 			Logf:         t.Logf,
-		})
+		}, 5)
 		if err != nil {
 			t.Fatalf("start node %d: %v", i, err)
 		}
@@ -46,7 +73,7 @@ func bootCluster(t *testing.T, overlay string, n int) []*Node {
 
 func awaitCluster(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := waitBudget(t, 10*time.Second)
 	for !cond() {
 		if time.Now().After(deadline) {
 			t.Fatalf("timed out waiting for %s", what)
@@ -128,13 +155,13 @@ func TestClusterDetectsKill(t *testing.T) {
 // and checks the resilience counters are exposed in Prometheus format.
 func TestClusterMetricsEndpoint(t *testing.T) {
 	nodes := bootCluster(t, "chord", 3)
-	node, err := Start(Config{
+	node, err := StartRetry(Config{
 		ID:           7,
 		Overlay:      "chord",
 		MetricsAddr:  "127.0.0.1:0",
 		PingInterval: 100 * time.Millisecond,
 		Timeout:      150 * time.Millisecond,
-	})
+	}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,8 +192,12 @@ func TestClusterMetricsEndpoint(t *testing.T) {
 }
 
 func TestNodeRejectsUnknownOverlay(t *testing.T) {
+	requireSockets(t)
 	if _, err := Start(Config{ID: 0, Overlay: "pastry"}); err == nil {
 		t.Fatal("Start accepted an unknown overlay")
+	}
+	if _, err := Start(Config{ID: 0, Overlay: "kademlia", SuspectAfter: 6, EvictAfter: 3}); err == nil {
+		t.Fatal("Start accepted EvictAfter < SuspectAfter")
 	}
 }
 

@@ -1,0 +1,340 @@
+package livenode
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"unap2p/internal/chaos"
+	"unap2p/internal/underlay"
+)
+
+// liveSchedule is the campaign every overlay must survive: a correlated
+// loss burst while the cluster is routing, then a two-node crash wave.
+// The loss window (600 ms at ping 100 ms) is deliberately shorter than
+// EvictAfter×PingInterval (800 ms), so a live peer cannot accumulate
+// the miss streak a real crash does — the campaign must evict exactly
+// the killed nodes, nothing else.
+const (
+	liveSchedule   = "loss 200 800 rate=0.25\ncrash 1100 n=2\n"
+	liveNodes      = 6
+	liveEvictAfter = 8
+	liveASes       = 3
+	liveSeed       = 7
+)
+
+// bootChaosCluster is bootCluster with the chaos detector tuning, each
+// node wrapped as a restartable Member (node 0 seeds; the rest revive
+// through its address).
+func bootChaosCluster(t *testing.T, overlay string, n int) []*Member {
+	t.Helper()
+	requireSockets(t)
+	members := make([]*Member, n)
+	var bootstrap string
+	for i := 0; i < n; i++ {
+		node, err := StartRetry(Config{
+			ID:           underlay.HostID(i),
+			Overlay:      overlay,
+			PingInterval: 100 * time.Millisecond,
+			Timeout:      150 * time.Millisecond,
+			SuspectAfter: 2,
+			EvictAfter:   liveEvictAfter,
+			Logf:         t.Logf,
+		}, 5)
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		if i == 0 {
+			bootstrap = node.Net().LocalAddr().String()
+			members[i] = NewMember(node, "")
+		} else {
+			if err := node.Join(bootstrap); err != nil {
+				t.Fatalf("join node %d: %v", i, err)
+			}
+			members[i] = NewMember(node, bootstrap)
+		}
+		m := members[i]
+		t.Cleanup(func() { m.Kill() })
+	}
+	awaitCluster(t, "full address books", func() bool {
+		for _, m := range members {
+			if m.Node().Peers() != n {
+				return false
+			}
+		}
+		return true
+	})
+	return members
+}
+
+func clusterLookups(members []*Member, skip map[underlay.HostID]bool, perNode int) (ok, total int) {
+	for _, m := range members {
+		if skip[m.ID()] {
+			continue
+		}
+		ok += m.Node().RunLookups(perNode)
+		total += perNode
+	}
+	return ok, total
+}
+
+// TestLiveChaosCampaign is the tentpole acceptance test, in-process and
+// race-detectable: for each overlay, a live cluster takes the shared
+// loss-burst + crash-wave schedule, evicts exactly the planned victims,
+// and reconverges to the ≥95% verified-lookup floor — with the same
+// chaos.Check invariants the sim harness runs.
+func TestLiveChaosCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live campaign needs multi-second wall-clock windows")
+	}
+	for _, overlay := range []string{"kademlia", "chord", "gnutella"} {
+		overlay := overlay
+		t.Run(overlay, func(t *testing.T) {
+			t.Parallel()
+			members := bootChaosCluster(t, overlay, liveNodes)
+
+			// Pre-chaos baseline: the floor must hold before any faults, or
+			// the reconvergence assertion below is meaningless.
+			beforeOK, beforeTotal := clusterLookups(members, nil, 20)
+			if beforeOK*100 < beforeTotal*95 {
+				t.Fatalf("pre-chaos baseline %d/%d below 95%%", beforeOK, beforeTotal)
+			}
+
+			sched, err := chaos.Parse(liveSchedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lm := make([]chaos.LiveMember, len(members))
+			for i, m := range members {
+				lm[i] = m
+			}
+			inj, err := chaos.NewLiveInjector(sched, lm, chaos.LiveConfig{
+				Seed:    liveSeed,
+				ASOf:    ASPlacement(liveASes),
+				Protect: []underlay.HostID{0}, // the bootstrap stays up
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			waves := inj.Victims()
+			if len(waves) != 1 || len(waves[0]) != 2 {
+				t.Fatalf("planned victims %v, want one wave of 2", waves)
+			}
+			victims := waves[0]
+			isVictim := map[underlay.HostID]bool{}
+			for _, id := range victims {
+				isVictim[id] = true
+			}
+
+			if err := inj.Start(time.Now()); err != nil {
+				t.Fatal(err)
+			}
+			defer inj.Stop()
+			inj.Wait()
+			if err := inj.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if got := inj.Crashed(); !reflect.DeepEqual(got, victims) {
+				t.Fatalf("Crashed() = %v, planned %v", got, victims)
+			}
+
+			// Every survivor must evict exactly the killed nodes — no more
+			// (the loss burst must not cost a live peer), no less.
+			awaitCluster(t, "survivors evict exactly the victims", func() bool {
+				for _, m := range members {
+					if isVictim[m.ID()] {
+						continue
+					}
+					if !reflect.DeepEqual(m.Node().Evicted(), victims) {
+						return false
+					}
+				}
+				return true
+			})
+			ttr := time.Since(inj.WaveTimes()[0])
+
+			// The universal invariant, per survivor: no routing references
+			// to evicted peers.
+			for _, m := range members {
+				if isVictim[m.ID()] {
+					continue
+				}
+				sub := m.Node().ChaosSubject()
+				if err := chaos.Check(fmt.Sprintf("%s/live/node%d", overlay, m.ID()), sub).Err(); err != nil {
+					t.Error(err)
+				}
+				if got := len(m.Node().Members()); got != liveNodes-len(victims) {
+					t.Errorf("node %d: %d members after eviction, want %d",
+						m.ID(), got, liveNodes-len(victims))
+				}
+			}
+
+			// Post-recovery lookups across the survivors: the ≥95% floor and
+			// reconvergence to the pre-fault rate.
+			afterOK, afterTotal := clusterLookups(members, isVictim, 20)
+			rep := &chaos.Report{Name: overlay + "/live"}
+			rep.SuccessFloor("post-recovery lookups", afterOK, afterTotal, 0.95)
+			rep.Reconverged("lookup success",
+				float64(beforeOK)/float64(beforeTotal),
+				float64(afterOK)/float64(afterTotal), 0.05)
+			if err := rep.Err(); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: time-to-recover %v after killing %v; lookups %d/%d before, %d/%d after",
+				overlay, ttr.Round(time.Millisecond), victims,
+				beforeOK, beforeTotal, afterOK, afterTotal)
+		})
+	}
+}
+
+// TestLiveReviveRejoins exercises the revive path end to end: a victim
+// crashes and returns before the eviction streak completes, so the
+// survivors suspect, recant on its return, and the cluster heals to
+// full membership — no evictions anywhere.
+func TestLiveReviveRejoins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live revive needs wall-clock windows")
+	}
+	members := bootChaosCluster(t, "kademlia", 3)
+
+	sched, err := chaos.Parse("crash 100 n=1 revive=500\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := []chaos.LiveMember{members[0], members[1], members[2]}
+	inj, err := chaos.NewLiveInjector(sched, lm, chaos.LiveConfig{
+		Seed: 3, Protect: []underlay.HostID{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := inj.Victims()[0][0]
+	if err := inj.Start(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Stop()
+	inj.Wait()
+	if err := inj.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The revived incarnation rejoined through hello/welcome: every node
+	// converges back to full membership on the victim's new address, and
+	// nobody evicted anybody (400 ms down < 800 ms eviction streak).
+	awaitCluster(t, "revived member rejoins everywhere", func() bool {
+		for _, m := range members {
+			if len(m.Node().Members()) != 3 {
+				return false
+			}
+		}
+		return true
+	})
+	for _, m := range members {
+		if got := m.Node().Evicted(); len(got) != 0 {
+			t.Errorf("node %d evicted %v during a sub-threshold outage", m.ID(), got)
+		}
+	}
+	if ok := members[victim].Node().RunLookups(10); ok < 9 {
+		t.Errorf("revived node: only %d/10 lookups verified after rejoin", ok)
+	}
+}
+
+// TestDetectorRecantsUnderLiveLoss is the detector-over-real-sockets
+// coverage: a total loss window scoped to one node's AS isolates it for
+// ~600 ms. Its peers must suspect it (the streak passes SuspectAfter)
+// and recant once the window ends — and with the eviction threshold out
+// of reach, nobody gets evicted by loss alone.
+func TestDetectorRecantsUnderLiveLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loss window needs wall-clock time")
+	}
+	requireSockets(t)
+
+	// Pick an AS count that isolates node 2 in its own AS, so the burst
+	// touches only traffic to/from node 2.
+	numASes := 0
+	for k := 2; k < 32; k++ {
+		if PlaceAS(2, k) != PlaceAS(0, k) && PlaceAS(2, k) != PlaceAS(1, k) {
+			numASes = k
+			break
+		}
+	}
+	if numASes == 0 {
+		t.Fatal("no AS count isolates node 2 (NodeKey distribution broken?)")
+	}
+
+	nodes := make([]*Node, 3)
+	var bootstrap string
+	for i := range nodes {
+		node, err := StartRetry(Config{
+			ID:           underlay.HostID(i),
+			Overlay:      "kademlia",
+			PingInterval: 80 * time.Millisecond,
+			Timeout:      120 * time.Millisecond,
+			SuspectAfter: 2,
+			EvictAfter:   100, // out of reach: loss must never evict here
+			Logf:         t.Logf,
+		}, 5)
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		nodes[i] = node
+		t.Cleanup(func() { node.Close() })
+		if i == 0 {
+			bootstrap = node.Net().LocalAddr().String()
+		} else if err := node.Join(bootstrap); err != nil {
+			t.Fatalf("join node %d: %v", i, err)
+		}
+	}
+	awaitCluster(t, "full address books", func() bool {
+		for _, n := range nodes {
+			if n.Peers() != 3 {
+				return false
+			}
+		}
+		return true
+	})
+	awaitCluster(t, "pings flowing", func() bool {
+		for _, n := range nodes {
+			if n.Detector().Counters().Get("ping").Value() == 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	text := fmt.Sprintf("loss 50 650 rate=1 as=%d\n", PlaceAS(2, numASes))
+	sched, err := chaos.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := time.Now()
+	for _, n := range nodes {
+		if err := n.ArmChaos(sched, epoch, numASes, 11); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 1: inside the window the isolated node's peers cross the
+	// suspect threshold.
+	awaitCluster(t, "peers suspect the isolated node", func() bool {
+		return nodes[0].Detector().Counters().Get("suspect").Value() > 0 &&
+			nodes[1].Detector().Counters().Get("suspect").Value() > 0
+	})
+	// Phase 2: the window ends, acks resume, suspicion is recanted.
+	awaitCluster(t, "suspicion recanted after the window", func() bool {
+		return nodes[0].Detector().Counters().Get("recover").Value() > 0 &&
+			nodes[1].Detector().Counters().Get("recover").Value() > 0 &&
+			len(nodes[0].Suspected()) == 0 && len(nodes[1].Suspected()) == 0
+	})
+	for i, n := range nodes {
+		n.DisarmChaos()
+		if got := n.Detector().Counters().Get("evict").Value(); got != 0 {
+			t.Errorf("node %d evicted %d peers from loss alone", i, got)
+		}
+		if len(n.Members()) != 3 {
+			t.Errorf("node %d: membership shrank to %v under loss", i, n.Members())
+		}
+	}
+}

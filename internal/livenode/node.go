@@ -31,6 +31,12 @@ type Config struct {
 	// (default 500 ms). Suspect fires after 2 missed acks, evict after 4,
 	// exactly as in the simulated detector's default config.
 	PingInterval time.Duration
+	// SuspectAfter and EvictAfter override the detector's miss streaks
+	// (0 keeps resilience.DefaultConfig's 2 and 4). Chaos campaigns
+	// raise EvictAfter so a bounded loss burst cannot sustain the streak
+	// a real crash does: with a flat ping interval, a burst shorter than
+	// EvictAfter×PingInterval can never evict a live peer.
+	SuspectAfter, EvictAfter int
 	// Logf, when non-nil, receives diagnostic lines.
 	Logf func(format string, args ...any)
 }
@@ -65,6 +71,11 @@ func Start(cfg Config) (*Node, error) {
 	}
 	if cfg.PingInterval <= 0 {
 		cfg.PingInterval = 500 * time.Millisecond
+	}
+	if cfg.SuspectAfter < 0 || cfg.EvictAfter < 0 ||
+		(cfg.SuspectAfter > 0 && cfg.EvictAfter > 0 && cfg.EvictAfter < cfg.SuspectAfter) {
+		return nil, fmt.Errorf("livenode: need 0 ≤ SuspectAfter (%d) ≤ EvictAfter (%d)",
+			cfg.SuspectAfter, cfg.EvictAfter)
 	}
 	tr, err := nettransport.Listen(nettransport.Config{
 		Self: cfg.ID, Listen: cfg.Listen, Timeout: cfg.Timeout, Logf: cfg.Logf,
@@ -107,6 +118,17 @@ func Start(cfg Config) (*Node, error) {
 	dcfg := resilience.DefaultConfig()
 	dcfg.PingInterval = sim.Duration(float64(cfg.PingInterval) / float64(time.Millisecond))
 	dcfg.Backoff = resilience.Backoff{} // flat interval; no RNG dependency
+	if cfg.SuspectAfter > 0 {
+		dcfg.SuspectAfter = cfg.SuspectAfter
+	}
+	if cfg.EvictAfter > 0 {
+		dcfg.EvictAfter = cfg.EvictAfter
+	}
+	if dcfg.EvictAfter < dcfg.SuspectAfter {
+		tr.Close()
+		return nil, fmt.Errorf("livenode: need SuspectAfter (%d) ≤ EvictAfter (%d)",
+			dcfg.SuspectAfter, dcfg.EvictAfter)
+	}
 	n.det = resilience.New(tr, dcfg)
 	n.det.Heal(n.engine)
 	n.det.OnRecover = n.core.Recover
@@ -196,6 +218,27 @@ func (n *Node) Registry() *telemetry.Registry { return n.reg }
 // Peers reports how many cluster members the node currently knows,
 // itself included.
 func (n *Node) Peers() int { return n.net.Book().Len() }
+
+// Members returns the node's live membership view (book ids minus
+// evicted peers, self included) — the reference set every engine routes
+// over.
+func (n *Node) Members() []underlay.HostID { return n.core.members() }
+
+// Evicted returns the peers the failure detector has permanently
+// evicted, sorted. Safe from any goroutine (the read runs on the pacer).
+func (n *Node) Evicted() []underlay.HostID {
+	var out []underlay.HostID
+	n.pacer.Do(func() { out = n.det.Evicted() })
+	return out
+}
+
+// Suspected returns the peers currently under suspicion, sorted. Safe
+// from any goroutine.
+func (n *Node) Suspected() []underlay.HostID {
+	var out []underlay.HostID
+	n.pacer.Do(func() { out = n.det.Suspected() })
+	return out
+}
 
 // MetricsAddr reports the bound metrics address, or "" when disabled.
 func (n *Node) MetricsAddr() string {

@@ -137,6 +137,13 @@ func DecodePeers(p []byte) ([]PeerEntry, error) {
 	}
 	n := binary.BigEndian.Uint32(p)
 	p = p[4:]
+	// Bound the allocation by what the buffer can actually hold: every
+	// entry needs at least id(4)+addrlen(1) bytes, so a count claiming
+	// more than len(p)/5 entries is lying. Without this check a 4-byte
+	// payload claiming 0xFFFFFFFF entries would allocate ~100 GB.
+	if int64(n)*5 > int64(len(p)) {
+		return nil, ErrTruncated
+	}
 	entries := make([]PeerEntry, 0, n)
 	for i := uint32(0); i < n; i++ {
 		if len(p) < 5 {

@@ -81,3 +81,34 @@ func TestAddressBookEncodeMerge(t *testing.T) {
 		t.Fatal("truncated entry accepted")
 	}
 }
+
+// TestDecodePeersHugeCount is the regression test for the
+// attacker-controlled allocation: a 4-byte payload claiming 0xFFFFFFFF
+// entries must be rejected before make() sizes a slice to the claim —
+// one welcome datagram must not pin ~100 GB. The count is validated
+// against what the remaining buffer can physically hold (≥5 bytes per
+// entry).
+func TestDecodePeersHugeCount(t *testing.T) {
+	cases := [][]byte{
+		{0xFF, 0xFF, 0xFF, 0xFF},             // max count, empty body
+		{0x00, 0x00, 0x01, 0x00},             // modest lie, still empty body
+		{0x00, 0x00, 0x00, 0x02, 0, 0, 0, 1}, // claims 2, holds < 1 entry
+	}
+	for _, p := range cases {
+		entries, err := DecodePeers(p)
+		if err == nil {
+			t.Fatalf("DecodePeers(%x) accepted an impossible count", p)
+		}
+		if len(entries) != 0 {
+			t.Fatalf("DecodePeers(%x) returned %d entries with its error", p, len(entries))
+		}
+	}
+
+	// The bound must not reject honest payloads at the boundary: one
+	// real entry is exactly count(4)+id(4)+len(1)+addr bytes.
+	b := NewAddressBook()
+	b.Set(7, udpAddr(t, "127.0.0.1:4007"))
+	if _, err := DecodePeers(b.Encode()); err != nil {
+		t.Fatalf("valid single-entry payload rejected: %v", err)
+	}
+}

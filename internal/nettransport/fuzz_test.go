@@ -2,8 +2,59 @@ package nettransport
 
 import (
 	"bytes"
+	"net"
 	"testing"
+
+	"unap2p/internal/underlay"
 )
+
+// FuzzDecodePeers pins the address-book codec's safety and round-trip
+// properties: DecodePeers never panics and never over-allocates on a
+// lying count (the huge-count hazard), and any payload a book accepts
+// re-encodes canonically — Merge(Encode(Merge(data))) is a fixpoint.
+func FuzzDecodePeers(f *testing.F) {
+	// Valid encodings seed the format…
+	b := NewAddressBook()
+	for i, addr := range []string{"127.0.0.1:4001", "127.0.0.1:4002", "[::1]:4003"} {
+		a, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		b.Set(underlay.HostID(i), a)
+	}
+	f.Add(b.Encode())
+	f.Add(NewAddressBook().Encode())
+	// …and the known attack shapes seed the reject paths.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 2, 0, 0, 0, 1})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodePeers(data)
+		// Safety: every returned entry must have been physically present
+		// in the buffer — the allocation bound in action.
+		if len(entries) > len(data)/5 {
+			t.Fatalf("%d entries decoded from %d bytes (min 5 bytes/entry)", len(entries), len(data))
+		}
+		if err != nil && len(entries) == 0 {
+			return // rejected outright, nothing more to check
+		}
+		// Round trip: merge what decoded into a book (partial decodes
+		// merge their prefix), encode, and the re-encoding must describe
+		// exactly the same peer set — a fixpoint under a second
+		// merge+encode.
+		book := NewAddressBook()
+		book.Merge(data)
+		once := book.Encode()
+		again := NewAddressBook()
+		if _, err := again.Merge(once); err != nil {
+			t.Fatalf("re-merge of canonical encoding failed: %v", err)
+		}
+		if twice := again.Encode(); !bytes.Equal(once, twice) {
+			t.Fatalf("encode not a fixpoint:\n once %x\ntwice %x", once, twice)
+		}
+	})
+}
 
 // FuzzWireCodec pins the two wire-codec safety properties the daemon
 // relies on: decode(encode(m)) == m for every encodable frame, and
